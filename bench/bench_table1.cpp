@@ -1,0 +1,98 @@
+// Reproduces paper Table 1: the influence of the §5.3 random-instance
+// parameters on the SA solver's cost, for two instance classes
+// (#tables = |T| = 20 and 100) and |S| ∈ {1, 2, 3}. Costs in units of 10^6.
+//
+// Each row varies ONE parameter (A-F) over three values while the others
+// stay at their defaults (bold in the paper: A=3, B=10%, C=15, D=5, E=15,
+// F={4,8}). Instances are seeded deterministically per cell, so reruns
+// print identical tables. Expected qualitative result (paper): the largest
+// reduction appears with few queries per transaction, few updates, many
+// attributes per table, and a moderate number of attribute references.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace vpart::bench {
+namespace {
+
+struct ParameterRow {
+  const char* label;
+  std::vector<double> values;
+  std::function<void(RandomInstanceParams&, double)> apply;
+};
+
+void RunClass(int size) {
+  std::printf("Table 1 — parameter influence, class #tables = |T| = %d "
+              "(SA solver, costs x1e3)\n", size);
+  const std::vector<ParameterRow> rows = {
+      {"A max queries/txn", {1, 3, 5},
+       [](RandomInstanceParams& p, double v) {
+         p.max_queries_per_transaction = static_cast<int>(v);
+       }},
+      {"B percent updates", {0, 10, 30},
+       [](RandomInstanceParams& p, double v) { p.update_percent = v; }},
+      {"C max attrs/table", {5, 15, 35},
+       [](RandomInstanceParams& p, double v) {
+         p.max_attributes_per_table = static_cast<int>(v);
+       }},
+      {"D max table refs/query", {2, 5, 10},
+       [](RandomInstanceParams& p, double v) {
+         p.max_table_refs_per_query = static_cast<int>(v);
+       }},
+      {"E max attr refs/query", {5, 15, 25},
+       [](RandomInstanceParams& p, double v) {
+         p.max_attribute_refs_per_query = static_cast<int>(v);
+       }},
+      {"F attribute widths", {0, 1, 2},
+       [](RandomInstanceParams& p, double v) {
+         const std::vector<std::vector<double>> sets = {
+             {2, 4, 8}, {4, 8}, {4, 8, 16}};
+         p.allowed_widths = sets[static_cast<int>(v)];
+       }},
+  };
+  const std::vector<std::vector<std::string>> f_labels = {
+      {"{2,4,8}", "{4,8}", "{4,8,16}"}};
+
+  TablePrinter table({"parameter", "value", "|S|=1", "|S|=2", "|S|=3"});
+  const CostParams cost_params{.p = 8, .lambda = 0.1};
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const ParameterRow& row = rows[r];
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      RandomInstanceParams params = Table1DefaultParams(
+          size, /*seed=*/911 + 1000 * size + 10 * r + i);
+      row.apply(params, row.values[i]);
+      Instance instance = MakeRandomInstance(params);
+
+      std::vector<std::string> cells;
+      cells.push_back(row.label);
+      if (row.label[0] == 'F') {
+        cells.push_back(f_labels[0][i]);
+      } else {
+        cells.push_back(StrFormat("%g", row.values[i]));
+      }
+      const double baseline = SingleSiteCost(instance, cost_params);
+      cells.push_back(FormatCost(baseline, 1e3));
+      for (int sites : {2, 3}) {
+        RunResult result = RunSa(instance, cost_params, sites,
+                                 /*seed=*/17 + i);
+        cells.push_back(MarkIfWorse(FormatCost(result.cost, 1e3), true,
+                                    result.cost, baseline));
+      }
+      table.AddRow(std::move(cells));
+    }
+    if (r + 1 < rows.size()) table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace vpart::bench
+
+int main() {
+  vpart::bench::RunClass(20);
+  vpart::bench::RunClass(100);
+  return 0;
+}

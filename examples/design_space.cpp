@@ -1,0 +1,128 @@
+// Design-space exploration on TPC-C: sweep the number of sites, the network
+// penalty p, the load-balancing weight λ, and the replication switch, and
+// print how the recommended layout's cost components move. This exercises
+// the knobs the paper discusses (§2.2, §5, Tables 5-6) in one place.
+//
+//   $ ./build/examples/design_space
+
+#include <algorithm>
+#include <cstdio>
+
+#include "instances/tpcc.h"
+#include "report/table_printer.h"
+#include "solver/advisor.h"
+#include "solver/latency.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace vpart;
+
+AdvisorResult MustAdvise(const Instance& instance, AdvisorOptions options) {
+  auto result = AdvisePartitioning(instance, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+}  // namespace
+
+int main() {
+  Instance tpcc = MakeTpccInstance();
+
+  // --- sweep 1: number of sites -------------------------------------------
+  {
+    TablePrinter table({"sites", "cost", "reduction", "read", "write",
+                        "p*transfer", "max replicas"});
+    for (int sites = 1; sites <= 5; ++sites) {
+      AdvisorOptions options;
+      options.num_sites = sites;
+      AdvisorResult result = MustAdvise(tpcc, options);
+      int max_replicas = 0;
+      for (int a = 0; a < tpcc.num_attributes(); ++a) {
+        max_replicas =
+            std::max(max_replicas, result.partitioning.ReplicaCount(a));
+      }
+      table.AddRow({StrFormat("%d", sites), StrFormat("%.0f", result.cost),
+                    StrFormat("%.1f%%", result.reduction_percent),
+                    StrFormat("%.0f", result.breakdown.read_access),
+                    StrFormat("%.0f", result.breakdown.write_access),
+                    StrFormat("%.0f", result.breakdown.total -
+                                          result.breakdown.read_access -
+                                          result.breakdown.write_access),
+                    StrFormat("%d", max_replicas)});
+    }
+    std::printf("TPC-C vs number of sites (p=8, lambda=0.1)\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- sweep 2: network penalty p ------------------------------------------
+  {
+    TablePrinter table({"p", "cost", "transfer bytes", "replicated attrs"});
+    for (double p : {0.0, 1.0, 3.0, 8.0, 32.0, 128.0}) {
+      AdvisorOptions options;
+      options.num_sites = 3;
+      options.cost.p = p;
+      AdvisorResult result = MustAdvise(tpcc, options);
+      int replicated = 0;
+      for (int a = 0; a < tpcc.num_attributes(); ++a) {
+        if (result.partitioning.ReplicaCount(a) > 1) ++replicated;
+      }
+      table.AddRow({StrFormat("%g", p), StrFormat("%.0f", result.cost),
+                    StrFormat("%.0f", result.breakdown.transfer),
+                    StrFormat("%d", replicated)});
+    }
+    std::printf("TPC-C vs network penalty (3 sites; paper: p in [3,128])\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- sweep 3: load-balancing weight lambda --------------------------------
+  {
+    TablePrinter table({"lambda", "cost", "max load", "min load"});
+    for (double lambda : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      AdvisorOptions options;
+      options.num_sites = 3;
+      options.cost.lambda = lambda;
+      AdvisorResult result = MustAdvise(tpcc, options);
+      CostModel model(&tpcc, options.cost);
+      double max_load = 0, min_load = 1e300;
+      for (int s = 0; s < 3; ++s) {
+        const double load = model.SiteLoad(result.partitioning, s);
+        max_load = std::max(max_load, load);
+        min_load = std::min(min_load, load);
+      }
+      table.AddRow({StrFormat("%g", lambda), StrFormat("%.0f", result.cost),
+                    StrFormat("%.0f", max_load),
+                    StrFormat("%.0f", min_load)});
+    }
+    std::printf("TPC-C vs load-balancing weight (3 sites): cost rises as the "
+                "max load evens out\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- sweep 4: replication and the Appendix-A latency view ----------------
+  {
+    TablePrinter table(
+        {"mode", "cost", "latency penalties (p_l=1)", "write psi=1"});
+    for (bool replication : {true, false}) {
+      AdvisorOptions options;
+      options.num_sites = 3;
+      options.allow_replication = replication;
+      AdvisorResult result = MustAdvise(tpcc, options);
+      auto psi = ComputePsi(tpcc, result.partitioning);
+      int hot = 0;
+      for (uint8_t v : psi) hot += v;
+      table.AddRow({replication ? "replicated" : "disjoint",
+                    StrFormat("%.0f", result.cost),
+                    StrFormat("%.1f",
+                              LatencyCost(tpcc, result.partitioning, 1.0)),
+                    StrFormat("%d", hot)});
+    }
+    std::printf("TPC-C replication vs Appendix-A latency exposure\n%s\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Partitioning advisor for the TPC-C workload — the paper's flagship
+// experiment as a runnable tool.
+//
+//   $ ./build/examples/tpcc_advisor [sites] [p] [lambda] [algorithm]
+//
+//   sites      number of sites (default 3)
+//   p          network penalty factor (default 8; 0 = local placement)
+//   lambda     load-balancing weight in [0,1] (default 0.1)
+//   algorithm  auto | ilp | sa | exhaustive | incremental (default auto)
+//
+// Prints the Table-4 style site layout plus the cost breakdown.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "instances/tpcc.h"
+#include "report/partition_report.h"
+#include "solver/advisor.h"
+
+int main(int argc, char** argv) {
+  using namespace vpart;
+
+  AdvisorOptions options;
+  options.num_sites = argc > 1 ? std::atoi(argv[1]) : 3;
+  options.cost.p = argc > 2 ? std::atof(argv[2]) : 8.0;
+  options.cost.lambda = argc > 3 ? std::atof(argv[3]) : 0.1;
+  if (argc > 4) {
+    const std::string name = argv[4];
+    if (name == "ilp") {
+      options.algorithm = AdvisorOptions::Algorithm::kIlp;
+    } else if (name == "sa") {
+      options.algorithm = AdvisorOptions::Algorithm::kSa;
+    } else if (name == "exhaustive") {
+      options.algorithm = AdvisorOptions::Algorithm::kExhaustive;
+    } else if (name == "incremental") {
+      options.algorithm = AdvisorOptions::Algorithm::kIncremental;
+    } else if (name != "auto") {
+      std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+      return 2;
+    }
+  }
+
+  Instance tpcc = MakeTpccInstance();
+  std::printf("TPC-C v5: %d tables, %d attributes, %d transactions, "
+              "%d queries\n",
+              tpcc.schema().num_tables(), tpcc.num_attributes(),
+              tpcc.num_transactions(), tpcc.num_queries());
+  std::printf("solving for %d sites, p = %g, lambda = %g ...\n\n",
+              options.num_sites, options.cost.p, options.cost.lambda);
+
+  auto result = AdvisePartitioning(tpcc, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", RenderPartitionTable(tpcc, result->partitioning).c_str());
+  CostModel model(&tpcc, options.cost);
+  std::printf("%s\n", RenderPartitionSummary(model, result->partitioning)
+                          .c_str());
+  std::printf("algorithm %s solved in %.2fs%s\n",
+              result->algorithm_used.c_str(), result->seconds,
+              result->proven_optimal ? " (proven optimal)" : "");
+  std::printf("cost reduction vs single site: %.1f%% (paper: 37%%)\n",
+              result->reduction_percent);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "cost/partitioning.h"
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+Partitioning::Partitioning(int num_transactions, int num_attributes,
+                           int num_sites)
+    : num_transactions_(num_transactions),
+      num_attributes_(num_attributes),
+      num_sites_(num_sites),
+      x_(num_transactions, -1),
+      y_(static_cast<size_t>(num_attributes) * num_sites, 0) {}
+
+int Partitioning::ReplicaCount(int a) const {
+  int count = 0;
+  for (int s = 0; s < num_sites_; ++s) count += y_[Idx(a, s)];
+  return count;
+}
+
+std::vector<int> Partitioning::SitesOfAttribute(int a) const {
+  std::vector<int> sites;
+  for (int s = 0; s < num_sites_; ++s) {
+    if (y_[Idx(a, s)]) sites.push_back(s);
+  }
+  return sites;
+}
+
+std::vector<int> Partitioning::TransactionsOnSite(int s) const {
+  std::vector<int> txns;
+  for (int t = 0; t < num_transactions_; ++t) {
+    if (x_[t] == s) txns.push_back(t);
+  }
+  return txns;
+}
+
+std::vector<int> Partitioning::AttributesOnSite(int s) const {
+  std::vector<int> attrs;
+  for (int a = 0; a < num_attributes_; ++a) {
+    if (y_[Idx(a, s)]) attrs.push_back(a);
+  }
+  return attrs;
+}
+
+Status ValidatePartitioning(const Instance& instance,
+                            const Partitioning& partitioning,
+                            bool require_disjoint) {
+  if (partitioning.num_transactions() != instance.num_transactions() ||
+      partitioning.num_attributes() != instance.num_attributes()) {
+    return InvalidArgumentError("partitioning dimensions do not match instance");
+  }
+  if (partitioning.num_sites() <= 0) {
+    return InvalidArgumentError("partitioning must have at least one site");
+  }
+  for (int t = 0; t < instance.num_transactions(); ++t) {
+    const int s = partitioning.SiteOfTransaction(t);
+    if (s < 0 || s >= partitioning.num_sites()) {
+      return InfeasibleError(StrFormat(
+          "transaction %d is not assigned to a site in range (got %d)", t, s));
+    }
+  }
+  for (int a = 0; a < instance.num_attributes(); ++a) {
+    const int replicas = partitioning.ReplicaCount(a);
+    if (replicas < 1) {
+      return InfeasibleError(StrFormat(
+          "attribute %s is not placed on any site",
+          instance.schema().QualifiedName(a).c_str()));
+    }
+    if (require_disjoint && replicas != 1) {
+      return InfeasibleError(StrFormat(
+          "attribute %s has %d replicas but disjointness is required",
+          instance.schema().QualifiedName(a).c_str(), replicas));
+    }
+  }
+  for (int t = 0; t < instance.num_transactions(); ++t) {
+    const int s = partitioning.SiteOfTransaction(t);
+    for (int a : instance.ReadSetOfTransaction(t)) {
+      if (!partitioning.HasAttribute(a, s)) {
+        return InfeasibleError(StrFormat(
+            "single-sitedness violated: transaction %s reads %s which is "
+            "missing on its site %d",
+            instance.workload().transaction(t).name.c_str(),
+            instance.schema().QualifiedName(a).c_str(), s));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Partitioning SingleSiteBaseline(const Instance& instance, int num_sites) {
+  Partitioning partitioning(instance.num_transactions(),
+                            instance.num_attributes(), num_sites);
+  for (int t = 0; t < instance.num_transactions(); ++t) {
+    partitioning.AssignTransaction(t, 0);
+  }
+  for (int a = 0; a < instance.num_attributes(); ++a) {
+    partitioning.PlaceAttribute(a, 0);
+  }
+  return partitioning;
+}
+
+}  // namespace vpart

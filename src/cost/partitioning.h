@@ -1,0 +1,80 @@
+#ifndef VPART_COST_PARTITIONING_H_
+#define VPART_COST_PARTITIONING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// A candidate solution: a disjoint assignment of transactions to sites
+/// (the paper's x_{t,s}) and a possibly replicated placement of attributes
+/// (y_{a,s}). Plain data with O(1) accessors; cost evaluation lives in
+/// CostModel, feasibility checking in ValidatePartitioning.
+class Partitioning {
+ public:
+  Partitioning() = default;
+  Partitioning(int num_transactions, int num_attributes, int num_sites);
+
+  int num_transactions() const { return num_transactions_; }
+  int num_attributes() const { return num_attributes_; }
+  int num_sites() const { return num_sites_; }
+
+  /// x accessors. A transaction not yet assigned reports site -1.
+  int SiteOfTransaction(int t) const { return x_[t]; }
+  void AssignTransaction(int t, int s) { x_[t] = s; }
+
+  /// y accessors.
+  bool HasAttribute(int a, int s) const { return y_[Idx(a, s)] != 0; }
+  void PlaceAttribute(int a, int s) { y_[Idx(a, s)] = 1; }
+  void RemoveAttribute(int a, int s) { y_[Idx(a, s)] = 0; }
+  void ClearAttribute(int a) {
+    for (int s = 0; s < num_sites_; ++s) y_[Idx(a, s)] = 0;
+  }
+
+  /// Number of replicas of attribute a (Σ_s y_{a,s}).
+  int ReplicaCount(int a) const;
+
+  /// Sites hosting attribute a, ascending.
+  std::vector<int> SitesOfAttribute(int a) const;
+
+  /// Transactions assigned to site s, ascending.
+  std::vector<int> TransactionsOnSite(int s) const;
+
+  /// Attributes present on site s, ascending.
+  std::vector<int> AttributesOnSite(int s) const;
+
+  friend bool operator==(const Partitioning& a, const Partitioning& b) {
+    return a.num_sites_ == b.num_sites_ && a.x_ == b.x_ && a.y_ == b.y_;
+  }
+
+ private:
+  size_t Idx(int a, int s) const {
+    return static_cast<size_t>(a) * num_sites_ + s;
+  }
+
+  int num_transactions_ = 0;
+  int num_attributes_ = 0;
+  int num_sites_ = 0;
+  std::vector<int> x_;       // transaction -> site (-1 = unassigned)
+  std::vector<uint8_t> y_;   // (attribute, site) -> present
+};
+
+/// Checks the paper's feasibility conditions:
+///  * every transaction is assigned to exactly one site in range,
+///  * every attribute is placed on at least one site,
+///  * single-sitedness of reads: φ_{a,t} = 1 implies y[a][x_t] = 1,
+///  * if `require_disjoint`, every attribute has exactly one replica.
+Status ValidatePartitioning(const Instance& instance,
+                            const Partitioning& partitioning,
+                            bool require_disjoint = false);
+
+/// The trivial baseline used throughout the paper's tables as "|S| = 1":
+/// everything on one site (site 0 of `num_sites`).
+Partitioning SingleSiteBaseline(const Instance& instance, int num_sites = 1);
+
+}  // namespace vpart
+
+#endif  // VPART_COST_PARTITIONING_H_

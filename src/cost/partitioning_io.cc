@@ -1,0 +1,122 @@
+#include "cost/partitioning_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+std::string WritePartitioningText(const Instance& instance,
+                                  const Partitioning& partitioning) {
+  std::ostringstream out;
+  out << "# vpart partitioning for instance " << instance.name() << "\n";
+  out << "partitioning " << partitioning.num_sites() << "\n";
+  for (int t = 0; t < partitioning.num_transactions(); ++t) {
+    out << "txn " << instance.workload().transaction(t).name << " "
+        << partitioning.SiteOfTransaction(t) << "\n";
+  }
+  for (int a = 0; a < partitioning.num_attributes(); ++a) {
+    out << "attr " << instance.schema().QualifiedName(a);
+    for (int s : partitioning.SitesOfAttribute(a)) out << " " << s;
+    out << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<Partitioning> ParsePartitioningText(const Instance& instance,
+                                             const std::string& text) {
+  Partitioning partitioning;
+  bool started = false;
+  std::vector<bool> txn_seen(instance.num_transactions(), false);
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> tok = SplitWhitespace(stripped);
+    auto fail = [&](const std::string& message) {
+      return InvalidArgumentError(
+          StrFormat("line %d: %s", line_no, message.c_str()));
+    };
+
+    if (tok[0] == "partitioning") {
+      int sites = 0;
+      if (tok.size() != 2 || !ParseInt(tok[1], &sites) || sites < 1) {
+        return fail("expected: partitioning <num_sites>");
+      }
+      partitioning = Partitioning(instance.num_transactions(),
+                                  instance.num_attributes(), sites);
+      started = true;
+    } else if (!started) {
+      return fail("file must start with a 'partitioning' line");
+    } else if (tok[0] == "txn") {
+      if (tok.size() != 3) return fail("expected: txn <name> <site>");
+      auto t = instance.workload().FindTransaction(tok[1]);
+      if (!t.ok()) return fail(t.status().message());
+      int site = 0;
+      if (!ParseInt(tok[2], &site) || site < 0 ||
+          site >= partitioning.num_sites()) {
+        return fail("site out of range: " + tok[2]);
+      }
+      if (txn_seen[t.value()]) return fail("duplicate txn: " + tok[1]);
+      txn_seen[t.value()] = true;
+      partitioning.AssignTransaction(t.value(), site);
+    } else if (tok[0] == "attr") {
+      if (tok.size() < 3) return fail("expected: attr <name> <site>...");
+      auto a = instance.schema().FindAttribute(tok[1]);
+      if (!a.ok()) return fail(a.status().message());
+      for (size_t i = 2; i < tok.size(); ++i) {
+        int site = 0;
+        if (!ParseInt(tok[i], &site) || site < 0 ||
+            site >= partitioning.num_sites()) {
+          return fail("site out of range: " + tok[i]);
+        }
+        partitioning.PlaceAttribute(a.value(), site);
+      }
+    } else {
+      return fail("unknown directive: " + tok[0]);
+    }
+  }
+
+  if (!started) return InvalidArgumentError("no 'partitioning' line found");
+  for (int t = 0; t < instance.num_transactions(); ++t) {
+    if (!txn_seen[t]) {
+      return InvalidArgumentError(
+          "transaction missing from file: " +
+          instance.workload().transaction(t).name);
+    }
+  }
+  for (int a = 0; a < instance.num_attributes(); ++a) {
+    if (partitioning.ReplicaCount(a) == 0) {
+      return InvalidArgumentError("attribute missing from file: " +
+                                  instance.schema().QualifiedName(a));
+    }
+  }
+  return partitioning;
+}
+
+Status WritePartitioningFile(const Instance& instance,
+                             const Partitioning& partitioning,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  out << WritePartitioningText(instance, partitioning);
+  if (!out) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Partitioning> ReadPartitioningFile(const Instance& instance,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePartitioningText(instance, buffer.str());
+}
+
+}  // namespace vpart

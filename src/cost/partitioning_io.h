@@ -1,0 +1,38 @@
+#ifndef VPART_COST_PARTITIONING_IO_H_
+#define VPART_COST_PARTITIONING_IO_H_
+
+#include <string>
+
+#include "cost/partitioning.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// Serializes a partitioning against its instance's names:
+///
+///   partitioning <num_sites>
+///   txn <transaction> <site>
+///   attr <table>.<attribute> <site> [<site> ...]
+///
+/// Sites are 0-based. Lines starting with '#' and blank lines are ignored
+/// by the parser. The format survives attribute reordering because
+/// everything is name-keyed.
+std::string WritePartitioningText(const Instance& instance,
+                                  const Partitioning& partitioning);
+
+/// Parses the format above and validates dimensions against `instance`
+/// (every transaction assigned exactly once, every attribute placed at
+/// least once, all sites in range). Feasibility (single-sitedness) is NOT
+/// enforced here — use ValidatePartitioning for that.
+StatusOr<Partitioning> ParsePartitioningText(const Instance& instance,
+                                             const std::string& text);
+
+Status WritePartitioningFile(const Instance& instance,
+                             const Partitioning& partitioning,
+                             const std::string& path);
+StatusOr<Partitioning> ReadPartitioningFile(const Instance& instance,
+                                            const std::string& path);
+
+}  // namespace vpart
+
+#endif  // VPART_COST_PARTITIONING_IO_H_

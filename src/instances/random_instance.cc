@@ -1,0 +1,159 @@
+#include "instances/random_instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace vpart {
+
+Instance MakeRandomInstance(const RandomInstanceParams& params) {
+  assert(params.num_transactions >= 1);
+  assert(params.num_tables >= 1);
+  assert(!params.allowed_widths.empty());
+  Rng rng(params.seed);
+  InstanceBuilder builder(params.name);
+
+  // Schema: per table, U[1, C] attributes with widths drawn from F.
+  std::vector<std::vector<int>> table_attrs(params.num_tables);
+  std::vector<int> table_ids(params.num_tables);
+  for (int tbl = 0; tbl < params.num_tables; ++tbl) {
+    table_ids[tbl] = builder.AddTable(StrFormat("T%d", tbl));
+    const int count =
+        static_cast<int>(rng.UniformInt(1, params.max_attributes_per_table));
+    for (int k = 0; k < count; ++k) {
+      const double width = params.allowed_widths[rng.NextBounded(
+          params.allowed_widths.size())];
+      table_attrs[tbl].push_back(
+          builder.AddAttribute(table_ids[tbl], StrFormat("a%d", k), width));
+    }
+  }
+
+  // Workload: per transaction, U[1, A] queries; each query picks U[1, D]
+  // distinct tables and distributes U[1, E] attribute references over them;
+  // a query is a write with probability B%.
+  for (int t = 0; t < params.num_transactions; ++t) {
+    const int txn = builder.AddTransaction(StrFormat("txn%d", t));
+    const int num_queries = static_cast<int>(
+        rng.UniformInt(1, params.max_queries_per_transaction));
+    for (int q = 0; q < num_queries; ++q) {
+      const bool is_write = rng.NextBool(params.update_percent / 100.0);
+      const int num_tables = static_cast<int>(rng.UniformInt(
+          1, std::min(params.max_table_refs_per_query, params.num_tables)));
+      std::vector<int> tables =
+          rng.SampleWithoutReplacement(params.num_tables, num_tables);
+
+      const int num_refs = static_cast<int>(
+          rng.UniformInt(1, params.max_attribute_refs_per_query));
+      std::set<int> refs;
+      for (int k = 0; k < num_refs; ++k) {
+        const int tbl = tables[rng.NextBounded(tables.size())];
+        const std::vector<int>& attrs = table_attrs[tbl];
+        refs.insert(attrs[rng.NextBounded(attrs.size())]);
+      }
+      // Every selected table is accessed even if no attribute reference
+      // landed in it (e.g. an EXISTS probe); all queries touch one row.
+      std::vector<std::pair<int, double>> table_rows;
+      for (int tbl : tables) table_rows.emplace_back(table_ids[tbl], 1.0);
+      builder.AddQuery(txn, StrFormat("t%dq%d", t, q),
+                       is_write ? QueryKind::kWrite : QueryKind::kRead,
+                       /*frequency=*/1.0,
+                       std::vector<int>(refs.begin(), refs.end()),
+                       std::move(table_rows));
+    }
+  }
+
+  auto instance = builder.Build();
+  assert(instance.ok());
+  return std::move(instance.value());
+}
+
+StatusOr<RandomInstanceParams> ParseNamedInstanceParams(
+    const std::string& name) {
+  // Grammar: rnd<A|B>t<#tables>x<|T|>[u<update%>]
+  if (!StartsWith(name, "rndA") && !StartsWith(name, "rndB")) {
+    return InvalidArgumentError("instance name must start rndA/rndB: " + name);
+  }
+  RandomInstanceParams params;
+  params.name = name;
+  params.max_queries_per_transaction = 3;
+  params.update_percent = 10.0;
+  params.allowed_widths = {2, 4, 8, 16};
+  if (name[3] == 'A') {
+    params.max_attributes_per_table = 30;  // C
+    params.max_table_refs_per_query = 3;   // D
+    params.max_attribute_refs_per_query = 8;  // E
+  } else {
+    params.max_attributes_per_table = 5;
+    params.max_table_refs_per_query = 6;
+    params.max_attribute_refs_per_query = 28;
+  }
+
+  size_t pos = 4;
+  if (pos >= name.size() || name[pos] != 't') {
+    return InvalidArgumentError("expected 't<#tables>' in " + name);
+  }
+  size_t x_pos = name.find('x', pos);
+  if (x_pos == std::string::npos) {
+    return InvalidArgumentError("expected 'x<|T|>' in " + name);
+  }
+  int tables = 0;
+  if (!ParseInt(name.substr(pos + 1, x_pos - pos - 1), &tables) ||
+      tables < 1) {
+    return InvalidArgumentError("bad table count in " + name);
+  }
+  params.num_tables = tables;
+
+  size_t u_pos = name.find('u', x_pos);
+  const std::string txn_str =
+      name.substr(x_pos + 1, (u_pos == std::string::npos ? name.size() : u_pos) -
+                                 x_pos - 1);
+  int transactions = 0;
+  if (!ParseInt(txn_str, &transactions) || transactions < 1) {
+    return InvalidArgumentError("bad transaction count in " + name);
+  }
+  params.num_transactions = transactions;
+
+  if (u_pos != std::string::npos) {
+    int update = 0;
+    if (!ParseInt(name.substr(u_pos + 1), &update) || update < 0 ||
+        update > 100) {
+      return InvalidArgumentError("bad update percentage in " + name);
+    }
+    params.update_percent = update;
+  }
+
+  // Deterministic seed from the name (FNV-1a).
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  params.seed = hash;
+  return params;
+}
+
+StatusOr<Instance> MakeNamedRandomInstance(const std::string& name) {
+  auto params = ParseNamedInstanceParams(name);
+  VPART_RETURN_IF_ERROR(params.status());
+  return MakeRandomInstance(params.value());
+}
+
+RandomInstanceParams Table1DefaultParams(int size, uint64_t seed) {
+  RandomInstanceParams params;
+  params.name = StrFormat("table1_%d", size);
+  params.num_transactions = size;
+  params.num_tables = size;
+  params.max_queries_per_transaction = 3;   // A default
+  params.update_percent = 10.0;             // B default
+  params.max_attributes_per_table = 15;     // C default
+  params.max_table_refs_per_query = 5;      // D default
+  params.max_attribute_refs_per_query = 15; // E default
+  params.allowed_widths = {4, 8};           // F default
+  params.seed = seed;
+  return params;
+}
+
+}  // namespace vpart

@@ -1,0 +1,51 @@
+#ifndef VPART_INSTANCES_RANDOM_INSTANCE_H_
+#define VPART_INSTANCES_RANDOM_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// §5.3 random instance generator. A parameter class fixes the upper
+/// bounds; each individual value is drawn uniformly from [1, bound] (so the
+/// mean is bound/2), matching the paper. Letters A–F refer to Table 1's
+/// parameter rows.
+struct RandomInstanceParams {
+  int num_transactions = 15;                    // |T|
+  int num_tables = 8;                           // #tables
+  int max_queries_per_transaction = 3;          // A
+  double update_percent = 10.0;                 // B: % of write queries
+  int max_attributes_per_table = 30;            // C
+  int max_table_refs_per_query = 3;             // D
+  int max_attribute_refs_per_query = 8;         // E
+  std::vector<double> allowed_widths = {2, 4, 8, 16};  // F
+  uint64_t seed = 1;
+  std::string name = "random";
+};
+
+/// Generates a deterministic instance for `params`.
+Instance MakeRandomInstance(const RandomInstanceParams& params);
+
+/// Table-2 named classes: "rndAt8x15", "rndBt16x100", "rndAt8x15u50", ...
+/// Class A: C=30, D=3, E=8 (large expected reduction); class B: C=5, D=6,
+/// E=28 (small expected reduction); t<k> = k tables, x<n> = n transactions,
+/// u<p> overrides the update percentage (default 10). Common: A=3,
+/// F={2,4,8,16}. Seeds derive from the name, so every run of the benches
+/// sees the same instance.
+StatusOr<RandomInstanceParams> ParseNamedInstanceParams(
+    const std::string& name);
+
+/// Convenience: parse + generate.
+StatusOr<Instance> MakeNamedRandomInstance(const std::string& name);
+
+/// Table 1's two test classes: defaults A=3, B=10, C=15, D=5, E=15,
+/// F={4,8}, with #tables = |T| = `size` (20 or 100 in the paper).
+RandomInstanceParams Table1DefaultParams(int size, uint64_t seed);
+
+}  // namespace vpart
+
+#endif  // VPART_INSTANCES_RANDOM_INSTANCE_H_

@@ -1,0 +1,300 @@
+#include "instances/tpcc.h"
+
+#include <cassert>
+#include <vector>
+
+namespace vpart {
+namespace {
+
+/// Column-width conventions (bytes): see header.
+constexpr double kId = 4;      // numeric identifiers, counts, quantities
+constexpr double kMoney = 8;   // signed numeric(12,2)
+constexpr double kDate = 8;    // date and time
+double Char(int n) { return n; }
+double Varchar(int n) { return n; }
+
+struct TpccSchema {
+  InstanceBuilder* b = nullptr;
+
+  // Warehouse (9)
+  int W_ID, W_NAME, W_STREET_1, W_STREET_2, W_CITY, W_STATE, W_ZIP, W_TAX,
+      W_YTD;
+  // District (11)
+  int D_ID, D_W_ID, D_NAME, D_STREET_1, D_STREET_2, D_CITY, D_STATE, D_ZIP,
+      D_TAX, D_YTD, D_NEXT_O_ID;
+  // Customer (21)
+  int C_ID, C_D_ID, C_W_ID, C_FIRST, C_MIDDLE, C_LAST, C_STREET_1, C_STREET_2,
+      C_CITY, C_STATE, C_ZIP, C_PHONE, C_SINCE, C_CREDIT, C_CREDIT_LIM,
+      C_DISCOUNT, C_BALANCE, C_YTD_PAYMENT, C_PAYMENT_CNT, C_DELIVERY_CNT,
+      C_DATA;
+  // History (8)
+  int H_C_ID, H_C_D_ID, H_C_W_ID, H_D_ID, H_W_ID, H_DATE, H_AMOUNT, H_DATA;
+  // New-Order (3)
+  int NO_O_ID, NO_D_ID, NO_W_ID;
+  // Order (8)
+  int O_ID, O_D_ID, O_W_ID, O_C_ID, O_ENTRY_D, O_CARRIER_ID, O_OL_CNT,
+      O_ALL_LOCAL;
+  // Order-Line (10)
+  int OL_O_ID, OL_D_ID, OL_W_ID, OL_NUMBER, OL_I_ID, OL_SUPPLY_W_ID,
+      OL_DELIVERY_D, OL_QUANTITY, OL_AMOUNT, OL_DIST_INFO;
+  // Item (5)
+  int I_ID, I_IM_ID, I_NAME, I_PRICE, I_DATA;
+  // Stock (17)
+  int S_I_ID, S_W_ID, S_QUANTITY, S_DIST[10], S_YTD, S_ORDER_CNT,
+      S_REMOTE_CNT, S_DATA;
+
+  void Build() {
+    int warehouse = b->AddTable("Warehouse");
+    W_ID = b->AddAttribute(warehouse, "W_ID", kId);
+    W_NAME = b->AddAttribute(warehouse, "W_NAME", Varchar(10));
+    W_STREET_1 = b->AddAttribute(warehouse, "W_STREET_1", Varchar(20));
+    W_STREET_2 = b->AddAttribute(warehouse, "W_STREET_2", Varchar(20));
+    W_CITY = b->AddAttribute(warehouse, "W_CITY", Varchar(20));
+    W_STATE = b->AddAttribute(warehouse, "W_STATE", Char(2));
+    W_ZIP = b->AddAttribute(warehouse, "W_ZIP", Char(9));
+    W_TAX = b->AddAttribute(warehouse, "W_TAX", kId);
+    W_YTD = b->AddAttribute(warehouse, "W_YTD", kMoney);
+
+    int district = b->AddTable("District");
+    D_ID = b->AddAttribute(district, "D_ID", kId);
+    D_W_ID = b->AddAttribute(district, "D_W_ID", kId);
+    D_NAME = b->AddAttribute(district, "D_NAME", Varchar(10));
+    D_STREET_1 = b->AddAttribute(district, "D_STREET_1", Varchar(20));
+    D_STREET_2 = b->AddAttribute(district, "D_STREET_2", Varchar(20));
+    D_CITY = b->AddAttribute(district, "D_CITY", Varchar(20));
+    D_STATE = b->AddAttribute(district, "D_STATE", Char(2));
+    D_ZIP = b->AddAttribute(district, "D_ZIP", Char(9));
+    D_TAX = b->AddAttribute(district, "D_TAX", kId);
+    D_YTD = b->AddAttribute(district, "D_YTD", kMoney);
+    D_NEXT_O_ID = b->AddAttribute(district, "D_NEXT_O_ID", kId);
+
+    int customer = b->AddTable("Customer");
+    C_ID = b->AddAttribute(customer, "C_ID", kId);
+    C_D_ID = b->AddAttribute(customer, "C_D_ID", kId);
+    C_W_ID = b->AddAttribute(customer, "C_W_ID", kId);
+    C_FIRST = b->AddAttribute(customer, "C_FIRST", Varchar(16));
+    C_MIDDLE = b->AddAttribute(customer, "C_MIDDLE", Char(2));
+    C_LAST = b->AddAttribute(customer, "C_LAST", Varchar(16));
+    C_STREET_1 = b->AddAttribute(customer, "C_STREET_1", Varchar(20));
+    C_STREET_2 = b->AddAttribute(customer, "C_STREET_2", Varchar(20));
+    C_CITY = b->AddAttribute(customer, "C_CITY", Varchar(20));
+    C_STATE = b->AddAttribute(customer, "C_STATE", Char(2));
+    C_ZIP = b->AddAttribute(customer, "C_ZIP", Char(9));
+    C_PHONE = b->AddAttribute(customer, "C_PHONE", Char(16));
+    C_SINCE = b->AddAttribute(customer, "C_SINCE", kDate);
+    C_CREDIT = b->AddAttribute(customer, "C_CREDIT", Char(2));
+    C_CREDIT_LIM = b->AddAttribute(customer, "C_CREDIT_LIM", kMoney);
+    C_DISCOUNT = b->AddAttribute(customer, "C_DISCOUNT", kId);
+    C_BALANCE = b->AddAttribute(customer, "C_BALANCE", kMoney);
+    C_YTD_PAYMENT = b->AddAttribute(customer, "C_YTD_PAYMENT", kMoney);
+    C_PAYMENT_CNT = b->AddAttribute(customer, "C_PAYMENT_CNT", kId);
+    C_DELIVERY_CNT = b->AddAttribute(customer, "C_DELIVERY_CNT", kId);
+    C_DATA = b->AddAttribute(customer, "C_DATA", Varchar(500));
+
+    int history = b->AddTable("History");
+    H_C_ID = b->AddAttribute(history, "H_C_ID", kId);
+    H_C_D_ID = b->AddAttribute(history, "H_C_D_ID", kId);
+    H_C_W_ID = b->AddAttribute(history, "H_C_W_ID", kId);
+    H_D_ID = b->AddAttribute(history, "H_D_ID", kId);
+    H_W_ID = b->AddAttribute(history, "H_W_ID", kId);
+    H_DATE = b->AddAttribute(history, "H_DATE", kDate);
+    H_AMOUNT = b->AddAttribute(history, "H_AMOUNT", kMoney);
+    H_DATA = b->AddAttribute(history, "H_DATA", Varchar(24));
+
+    int new_order = b->AddTable("NewOrder");
+    NO_O_ID = b->AddAttribute(new_order, "NO_O_ID", kId);
+    NO_D_ID = b->AddAttribute(new_order, "NO_D_ID", kId);
+    NO_W_ID = b->AddAttribute(new_order, "NO_W_ID", kId);
+
+    int order = b->AddTable("Order");
+    O_ID = b->AddAttribute(order, "O_ID", kId);
+    O_D_ID = b->AddAttribute(order, "O_D_ID", kId);
+    O_W_ID = b->AddAttribute(order, "O_W_ID", kId);
+    O_C_ID = b->AddAttribute(order, "O_C_ID", kId);
+    O_ENTRY_D = b->AddAttribute(order, "O_ENTRY_D", kDate);
+    O_CARRIER_ID = b->AddAttribute(order, "O_CARRIER_ID", kId);
+    O_OL_CNT = b->AddAttribute(order, "O_OL_CNT", kId);
+    O_ALL_LOCAL = b->AddAttribute(order, "O_ALL_LOCAL", kId);
+
+    int order_line = b->AddTable("OrderLine");
+    OL_O_ID = b->AddAttribute(order_line, "OL_O_ID", kId);
+    OL_D_ID = b->AddAttribute(order_line, "OL_D_ID", kId);
+    OL_W_ID = b->AddAttribute(order_line, "OL_W_ID", kId);
+    OL_NUMBER = b->AddAttribute(order_line, "OL_NUMBER", kId);
+    OL_I_ID = b->AddAttribute(order_line, "OL_I_ID", kId);
+    OL_SUPPLY_W_ID = b->AddAttribute(order_line, "OL_SUPPLY_W_ID", kId);
+    OL_DELIVERY_D = b->AddAttribute(order_line, "OL_DELIVERY_D", kDate);
+    OL_QUANTITY = b->AddAttribute(order_line, "OL_QUANTITY", kId);
+    OL_AMOUNT = b->AddAttribute(order_line, "OL_AMOUNT", kMoney);
+    OL_DIST_INFO = b->AddAttribute(order_line, "OL_DIST_INFO", Char(24));
+
+    int item = b->AddTable("Item");
+    I_ID = b->AddAttribute(item, "I_ID", kId);
+    I_IM_ID = b->AddAttribute(item, "I_IM_ID", kId);
+    I_NAME = b->AddAttribute(item, "I_NAME", Varchar(24));
+    I_PRICE = b->AddAttribute(item, "I_PRICE", kMoney);
+    I_DATA = b->AddAttribute(item, "I_DATA", Varchar(50));
+
+    int stock = b->AddTable("Stock");
+    S_I_ID = b->AddAttribute(stock, "S_I_ID", kId);
+    S_W_ID = b->AddAttribute(stock, "S_W_ID", kId);
+    S_QUANTITY = b->AddAttribute(stock, "S_QUANTITY", kId);
+    for (int d = 0; d < 10; ++d) {
+      S_DIST[d] = b->AddAttribute(
+          stock, "S_DIST_" + std::string(d < 9 ? "0" : "") +
+                     std::to_string(d + 1),
+          Char(24));
+    }
+    S_YTD = b->AddAttribute(stock, "S_YTD", kMoney);
+    S_ORDER_CNT = b->AddAttribute(stock, "S_ORDER_CNT", kId);
+    S_REMOTE_CNT = b->AddAttribute(stock, "S_REMOTE_CNT", kId);
+    S_DATA = b->AddAttribute(stock, "S_DATA", Varchar(50));
+  }
+};
+
+}  // namespace
+
+Instance MakeTpccInstance() {
+  InstanceBuilder builder("tpcc-v5");
+  TpccSchema s;
+  s.b = &builder;
+  s.Build();
+
+  const double kOne = 1.0;    // single-row queries
+  const double kIter = 10.0;  // iterated / aggregate queries (paper §5.2)
+  const auto R = QueryKind::kRead;
+  const auto W = QueryKind::kWrite;
+
+  // ----- New-Order (TPC-C §2.4.2) ---------------------------------------
+  {
+    int t = builder.AddTransaction("NewOrder");
+    builder.AddQuery(t, "no_sel_warehouse", R, 1.0, {s.W_ID, s.W_TAX}, {},
+                     kOne);
+    builder.AddQuery(t, "no_sel_district", R, 1.0,
+                     {s.D_ID, s.D_W_ID, s.D_TAX, s.D_NEXT_O_ID}, {}, kOne);
+    builder.AddUpdateQuery(t, "no_upd_district", 1.0,
+                           {s.D_ID, s.D_W_ID}, {s.D_NEXT_O_ID}, kOne);
+    builder.AddQuery(t, "no_sel_customer", R, 1.0,
+                     {s.C_ID, s.C_D_ID, s.C_W_ID, s.C_DISCOUNT, s.C_LAST,
+                      s.C_CREDIT},
+                     {}, kOne);
+    builder.AddQuery(t, "no_ins_order", W, 1.0,
+                     {s.O_ID, s.O_D_ID, s.O_W_ID, s.O_C_ID, s.O_ENTRY_D,
+                      s.O_CARRIER_ID, s.O_OL_CNT, s.O_ALL_LOCAL},
+                     {}, kOne);
+    builder.AddQuery(t, "no_ins_new_order", W, 1.0,
+                     {s.NO_O_ID, s.NO_D_ID, s.NO_W_ID}, {}, kOne);
+    builder.AddQuery(t, "no_sel_item", R, 1.0,
+                     {s.I_ID, s.I_PRICE, s.I_NAME, s.I_DATA}, {}, kIter);
+    {
+      std::vector<int> stock_refs = {s.S_I_ID, s.S_W_ID, s.S_QUANTITY,
+                                     s.S_DATA};
+      for (int d = 0; d < 10; ++d) stock_refs.push_back(s.S_DIST[d]);
+      builder.AddQuery(t, "no_sel_stock", R, 1.0, std::move(stock_refs), {},
+                       kIter);
+    }
+    builder.AddUpdateQuery(
+        t, "no_upd_stock", 1.0, {s.S_I_ID, s.S_W_ID},
+        {s.S_QUANTITY, s.S_YTD, s.S_ORDER_CNT, s.S_REMOTE_CNT}, kIter);
+    builder.AddQuery(t, "no_ins_order_line", W, 1.0,
+                     {s.OL_O_ID, s.OL_D_ID, s.OL_W_ID, s.OL_NUMBER,
+                      s.OL_I_ID, s.OL_SUPPLY_W_ID, s.OL_DELIVERY_D,
+                      s.OL_QUANTITY, s.OL_AMOUNT, s.OL_DIST_INFO},
+                     {}, kIter);
+  }
+
+  // ----- Payment (TPC-C §2.5.2) ------------------------------------------
+  {
+    int t = builder.AddTransaction("Payment");
+    builder.AddUpdateQuery(t, "py_upd_warehouse", 1.0, {s.W_ID}, {s.W_YTD},
+                           kOne);
+    builder.AddQuery(t, "py_sel_warehouse", R, 1.0,
+                     {s.W_ID, s.W_NAME, s.W_STREET_1, s.W_STREET_2, s.W_CITY,
+                      s.W_STATE, s.W_ZIP},
+                     {}, kOne);
+    builder.AddUpdateQuery(t, "py_upd_district", 1.0, {s.D_ID, s.D_W_ID},
+                           {s.D_YTD}, kOne);
+    builder.AddQuery(t, "py_sel_district", R, 1.0,
+                     {s.D_ID, s.D_W_ID, s.D_NAME, s.D_STREET_1, s.D_STREET_2,
+                      s.D_CITY, s.D_STATE, s.D_ZIP},
+                     {}, kOne);
+    // Customer selected by last name: iterates over matching customers.
+    builder.AddQuery(t, "py_sel_customer_by_name", R, 1.0,
+                     {s.C_W_ID, s.C_D_ID, s.C_LAST, s.C_FIRST, s.C_MIDDLE,
+                      s.C_ID},
+                     {}, kIter);
+    builder.AddQuery(t, "py_sel_customer", R, 1.0,
+                     {s.C_ID, s.C_D_ID, s.C_W_ID, s.C_FIRST, s.C_MIDDLE,
+                      s.C_LAST, s.C_STREET_1, s.C_STREET_2, s.C_CITY,
+                      s.C_STATE, s.C_ZIP, s.C_PHONE, s.C_SINCE, s.C_CREDIT,
+                      s.C_CREDIT_LIM, s.C_DISCOUNT, s.C_BALANCE},
+                     {}, kOne);
+    builder.AddUpdateQuery(
+        t, "py_upd_customer", 1.0, {s.C_ID, s.C_D_ID, s.C_W_ID, s.C_CREDIT},
+        {s.C_BALANCE, s.C_YTD_PAYMENT, s.C_PAYMENT_CNT, s.C_DATA}, kOne);
+    builder.AddQuery(t, "py_ins_history", W, 1.0,
+                     {s.H_C_ID, s.H_C_D_ID, s.H_C_W_ID, s.H_D_ID, s.H_W_ID,
+                      s.H_DATE, s.H_AMOUNT, s.H_DATA},
+                     {}, kOne);
+  }
+
+  // ----- Order-Status (TPC-C §2.6.2) --------------------------------------
+  {
+    int t = builder.AddTransaction("OrderStatus");
+    builder.AddQuery(t, "os_sel_customer_by_name", R, 1.0,
+                     {s.C_W_ID, s.C_D_ID, s.C_LAST, s.C_BALANCE, s.C_FIRST,
+                      s.C_MIDDLE, s.C_ID},
+                     {}, kIter);
+    builder.AddQuery(t, "os_sel_order", R, 1.0,
+                     {s.O_W_ID, s.O_D_ID, s.O_C_ID, s.O_ID, s.O_ENTRY_D,
+                      s.O_CARRIER_ID},
+                     {}, kOne);
+    builder.AddQuery(t, "os_sel_order_line", R, 1.0,
+                     {s.OL_O_ID, s.OL_D_ID, s.OL_W_ID, s.OL_I_ID,
+                      s.OL_SUPPLY_W_ID, s.OL_QUANTITY, s.OL_AMOUNT,
+                      s.OL_DELIVERY_D},
+                     {}, kIter);
+  }
+
+  // ----- Delivery (TPC-C §2.7.4): iterates over the 10 districts ----------
+  {
+    int t = builder.AddTransaction("Delivery");
+    builder.AddQuery(t, "dl_sel_new_order", R, 1.0,
+                     {s.NO_D_ID, s.NO_W_ID, s.NO_O_ID}, {}, kIter);
+    builder.AddQuery(t, "dl_del_new_order", W, 1.0,
+                     {s.NO_O_ID, s.NO_D_ID, s.NO_W_ID}, {}, kIter);
+    builder.AddQuery(t, "dl_sel_order", R, 1.0,
+                     {s.O_ID, s.O_D_ID, s.O_W_ID, s.O_C_ID}, {}, kIter);
+    builder.AddUpdateQuery(t, "dl_upd_order", 1.0,
+                           {s.O_ID, s.O_D_ID, s.O_W_ID}, {s.O_CARRIER_ID},
+                           kIter);
+    builder.AddUpdateQuery(t, "dl_upd_order_line", 1.0,
+                           {s.OL_O_ID, s.OL_D_ID, s.OL_W_ID},
+                           {s.OL_DELIVERY_D}, kIter);
+    builder.AddQuery(t, "dl_sum_order_line", R, 1.0,
+                     {s.OL_O_ID, s.OL_D_ID, s.OL_W_ID, s.OL_AMOUNT}, {},
+                     kIter);
+    builder.AddUpdateQuery(t, "dl_upd_customer", 1.0,
+                           {s.C_ID, s.C_D_ID, s.C_W_ID},
+                           {s.C_BALANCE, s.C_DELIVERY_CNT}, kIter);
+  }
+
+  // ----- Stock-Level (TPC-C §2.8.2) ---------------------------------------
+  {
+    int t = builder.AddTransaction("StockLevel");
+    builder.AddQuery(t, "sl_sel_district", R, 1.0,
+                     {s.D_W_ID, s.D_ID, s.D_NEXT_O_ID}, {}, kOne);
+    builder.AddQuery(t, "sl_count_stock", R, 1.0,
+                     {s.OL_W_ID, s.OL_D_ID, s.OL_O_ID, s.OL_I_ID, s.S_W_ID,
+                      s.S_I_ID, s.S_QUANTITY},
+                     {}, kIter);
+  }
+
+  auto instance = builder.Build();
+  assert(instance.ok());
+  assert(instance->num_attributes() == 92);
+  assert(instance->num_transactions() == 5);
+  return std::move(instance.value());
+}
+
+}  // namespace vpart

@@ -1,0 +1,24 @@
+#ifndef VPART_INSTANCES_TPCC_H_
+#define VPART_INSTANCES_TPCC_H_
+
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// The paper's TPC-C v5 problem instance (§5.2): the full 9-table,
+/// 92-attribute schema and the five standard transactions (New-Order,
+/// Payment, Order-Status, Delivery, Stock-Level), modeled with the paper's
+/// statistical assumptions:
+///   * every query runs with equal frequency (1),
+///   * every query touches 1 row, except iterated/aggregate queries which
+///     touch 10 (one per item / district / matching customer),
+///   * SQL UPDATEs are split into a read sub-query over all referenced
+///     attributes and a write sub-query over the written attributes,
+///   * INSERT/DELETE are whole-row write queries.
+/// Attribute widths follow the spec's datatypes (CHAR(n) = n bytes,
+/// VARCHAR(n) = n/2 average, ids/counts 4, money/dates 8).
+Instance MakeTpccInstance();
+
+}  // namespace vpart
+
+#endif  // VPART_INSTANCES_TPCC_H_

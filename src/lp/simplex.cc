@@ -1,0 +1,600 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace vpart {
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "OPTIMAL";
+    case LpStatus::kInfeasible:
+      return "INFEASIBLE";
+    case LpStatus::kUnbounded:
+      return "UNBOUNDED";
+    case LpStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+    case LpStatus::kNumericalFailure:
+      return "NUMERICAL_FAILURE";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+/// Variable status in the simplex dictionary.
+enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper };
+
+/// One elementary transformation of the product-form inverse: the basis
+/// changed by bringing the (FTRAN-ed) column `w` into position `row`.
+struct Eta {
+  int row = -1;
+  double pivot = 0.0;                           // w[row]
+  std::vector<std::pair<int, double>> other;    // (i, w[i]) for i != row
+};
+
+class SimplexSolver {
+ public:
+  SimplexSolver(const LpModel& model, const SimplexOptions& options,
+                const std::vector<std::pair<double, double>>* bound_overrides)
+      : model_(model), options_(options),
+        deadline_(options.time_limit_seconds) {
+    Build(bound_overrides);
+  }
+
+  LpResult Solve();
+
+ private:
+  // --- setup -------------------------------------------------------------
+  void Build(const std::vector<std::pair<double, double>>* bound_overrides);
+
+  // --- linear algebra over the product-form inverse ----------------------
+  void Ftran(std::vector<double>& w) const;   // w := B^{-1} w
+  void Btran(std::vector<double>& v) const;   // v := B^{-T} v
+  void ScatterColumn(int j, std::vector<double>& out) const;
+  bool Refactorize();
+  void RecomputeBasicValues();
+
+  // --- iteration ---------------------------------------------------------
+  int PriceDantzig(const std::vector<double>& d) const;
+  int PriceBland(const std::vector<double>& d) const;
+  void ComputeReducedCosts(std::vector<double>& d) const;
+  // Returns kOptimal / kUnbounded / kIterationLimit / kNumericalFailure for
+  // the current phase's cost vector.
+  LpStatus RunPhase(long max_iterations);
+
+  double PhaseObjective() const;
+
+  // --- problem data ------------------------------------------------------
+  const LpModel& model_;
+  SimplexOptions options_;
+  Deadline deadline_;
+
+  int num_rows_ = 0;
+  int num_struct_ = 0;
+  int num_cols_ = 0;  // struct + logicals + artificials
+
+  // CSC matrix over all columns.
+  std::vector<int> col_start_;
+  std::vector<int> row_index_;
+  std::vector<double> value_;
+
+  std::vector<double> lower_, upper_;
+  std::vector<double> cost_;          // active phase cost
+  std::vector<double> real_cost_;     // phase-2 cost
+  std::vector<double> rhs_;
+  int first_artificial_ = 0;          // columns >= this are artificial
+
+  // --- simplex state -----------------------------------------------------
+  std::vector<int> basis_;            // row -> column
+  std::vector<VarState> state_;       // column -> state
+  std::vector<double> xval_;          // column -> current value
+  std::vector<Eta> etas_;
+  long iterations_ = 0;
+  long phase1_iterations_ = 0;
+  long stall_count_ = 0;
+  bool use_bland_ = false;
+};
+
+void SimplexSolver::Build(
+    const std::vector<std::pair<double, double>>* bound_overrides) {
+  num_rows_ = model_.num_constraints();
+  num_struct_ = model_.num_variables();
+  const int num_logicals = num_rows_;
+
+  // Structural columns, aggregating duplicate (row, col) entries.
+  std::vector<std::vector<std::pair<int, double>>> cols(num_struct_);
+  for (int i = 0; i < num_rows_; ++i) {
+    for (const auto& [j, v] : model_.constraint(i).terms) {
+      cols[j].emplace_back(i, v);
+    }
+  }
+
+  col_start_.clear();
+  row_index_.clear();
+  value_.clear();
+  lower_.clear();
+  upper_.clear();
+  real_cost_.clear();
+  rhs_.resize(num_rows_);
+  for (int i = 0; i < num_rows_; ++i) rhs_[i] = model_.constraint(i).rhs;
+
+  auto push_column = [&](const std::vector<std::pair<int, double>>& entries,
+                         double lo, double hi, double c) {
+    col_start_.push_back(static_cast<int>(row_index_.size()));
+    for (const auto& [i, v] : entries) {
+      if (v != 0.0) {
+        row_index_.push_back(i);
+        value_.push_back(v);
+      }
+    }
+    lower_.push_back(lo);
+    upper_.push_back(hi);
+    real_cost_.push_back(c);
+  };
+
+  for (int j = 0; j < num_struct_; ++j) {
+    // Merge duplicates.
+    auto& entries = cols[j];
+    std::sort(entries.begin(), entries.end());
+    std::vector<std::pair<int, double>> merged;
+    for (const auto& [i, v] : entries) {
+      if (!merged.empty() && merged.back().first == i) {
+        merged.back().second += v;
+      } else {
+        merged.emplace_back(i, v);
+      }
+    }
+    double lo = model_.variable(j).lower;
+    double hi = model_.variable(j).upper;
+    if (bound_overrides != nullptr) {
+      lo = (*bound_overrides)[j].first;
+      hi = (*bound_overrides)[j].second;
+    }
+    push_column(merged, lo, hi, model_.variable(j).objective);
+  }
+
+  // Logical column per row: a·x + s = b with sense-dependent bounds.
+  for (int i = 0; i < num_rows_; ++i) {
+    double lo = 0, hi = 0;
+    switch (model_.constraint(i).sense) {
+      case ConstraintSense::kLessEqual:
+        lo = 0;
+        hi = kLpInfinity;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        lo = -kLpInfinity;
+        hi = 0;
+        break;
+      case ConstraintSense::kEqual:
+        lo = hi = 0;
+        break;
+    }
+    push_column({{i, 1.0}}, lo, hi, 0.0);
+  }
+
+  num_cols_ = num_struct_ + num_logicals;
+  first_artificial_ = num_cols_;
+
+  // Nonbasic start: every structural at its finite bound (preferring lower),
+  // logicals basic where feasible, artificials where not.
+  state_.assign(num_cols_, VarState::kAtLower);
+  xval_.assign(num_cols_, 0.0);
+  for (int j = 0; j < num_struct_; ++j) {
+    if (std::isfinite(lower_[j])) {
+      state_[j] = VarState::kAtLower;
+      xval_[j] = lower_[j];
+    } else if (std::isfinite(upper_[j])) {
+      state_[j] = VarState::kAtUpper;
+      xval_[j] = upper_[j];
+    } else {
+      state_[j] = VarState::kAtLower;  // free variable parked at 0
+      xval_[j] = 0.0;
+    }
+  }
+
+  // Row activity of the nonbasic structural start.
+  std::vector<double> activity(num_rows_, 0.0);
+  for (int j = 0; j < num_struct_; ++j) {
+    if (xval_[j] == 0.0) continue;
+    for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      activity[row_index_[k]] += value_[k] * xval_[j];
+    }
+  }
+
+  basis_.assign(num_rows_, -1);
+  std::vector<std::pair<int, double>> artificial_cols;  // (row, sign)
+  for (int i = 0; i < num_rows_; ++i) {
+    const int logical = num_struct_ + i;
+    const double residual = rhs_[i] - activity[i];
+    if (residual >= lower_[logical] - options_.feasibility_tol &&
+        residual <= upper_[logical] + options_.feasibility_tol) {
+      basis_[i] = logical;
+      state_[logical] = VarState::kBasic;
+      xval_[logical] = residual;
+    } else if (residual > upper_[logical]) {
+      // Park the logical at its upper bound; artificial covers the excess.
+      state_[logical] = VarState::kAtUpper;
+      xval_[logical] = upper_[logical];
+      artificial_cols.emplace_back(i, +1.0);
+    } else {
+      state_[logical] = VarState::kAtLower;
+      xval_[logical] = lower_[logical];
+      artificial_cols.emplace_back(i, -1.0);
+    }
+  }
+
+  for (const auto& [row, sign] : artificial_cols) {
+    col_start_.push_back(static_cast<int>(row_index_.size()));
+    row_index_.push_back(row);
+    value_.push_back(sign);
+    lower_.push_back(0.0);
+    upper_.push_back(kLpInfinity);
+    real_cost_.push_back(0.0);
+    const int j = num_cols_++;
+    state_.push_back(VarState::kBasic);
+    const double logical_value = xval_[num_struct_ + row];
+    const double residual = rhs_[row] - activity[row] - logical_value;
+    xval_.push_back(residual / sign);  // positive by construction
+    basis_[row] = j;
+    if (sign < 0) {
+      // The basis starts as a ±1 diagonal, not the identity; a trivial eta
+      // encodes the -1 so FTRAN/BTRAN see the true inverse.
+      Eta eta;
+      eta.row = row;
+      eta.pivot = sign;
+      etas_.push_back(std::move(eta));
+    }
+  }
+  col_start_.push_back(static_cast<int>(row_index_.size()));
+
+  assert(static_cast<int>(col_start_.size()) == num_cols_ + 1);
+}
+
+void SimplexSolver::ScatterColumn(int j, std::vector<double>& out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+    out[row_index_[k]] = value_[k];
+  }
+}
+
+void SimplexSolver::Ftran(std::vector<double>& w) const {
+  for (const Eta& eta : etas_) {
+    const double wr = w[eta.row];
+    if (wr == 0.0) continue;
+    const double piv = wr / eta.pivot;
+    w[eta.row] = piv;
+    for (const auto& [i, v] : eta.other) w[i] -= v * piv;
+  }
+}
+
+void SimplexSolver::Btran(std::vector<double>& v) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double dot = 0.0;
+    for (const auto& [i, val] : it->other) dot += val * v[i];
+    v[it->row] = (v[it->row] - dot) / it->pivot;
+  }
+}
+
+bool SimplexSolver::Refactorize() {
+  std::vector<int> old_basis = basis_;
+  etas_.clear();
+  std::vector<bool> pivoted(num_rows_, false);
+  std::vector<int> new_basis(num_rows_, -1);
+
+  // Order: unit columns (logicals/artificials) first, then structural by
+  // sparsity — a cheap triangularity heuristic.
+  std::vector<int> order;
+  order.reserve(old_basis.size());
+  for (int j : old_basis) {
+    if (j >= num_struct_) order.push_back(j);
+  }
+  std::vector<int> structural;
+  for (int j : old_basis) {
+    if (j < num_struct_) structural.push_back(j);
+  }
+  std::sort(structural.begin(), structural.end(), [&](int a, int b) {
+    return (col_start_[a + 1] - col_start_[a]) <
+           (col_start_[b + 1] - col_start_[b]);
+  });
+  order.insert(order.end(), structural.begin(), structural.end());
+
+  std::vector<double> w(num_rows_);
+  for (int j : order) {
+    ScatterColumn(j, w);
+    Ftran(w);
+    int best_row = -1;
+    double best_abs = options_.pivot_tol;
+    for (int i = 0; i < num_rows_; ++i) {
+      if (pivoted[i]) continue;
+      const double a = std::abs(w[i]);
+      if (a > best_abs) {
+        best_abs = a;
+        best_row = i;
+      }
+    }
+    if (best_row < 0) return false;  // singular basis
+    Eta eta;
+    eta.row = best_row;
+    eta.pivot = w[best_row];
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i != best_row && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
+    }
+    etas_.push_back(std::move(eta));
+    pivoted[best_row] = true;
+    new_basis[best_row] = j;
+  }
+  basis_ = std::move(new_basis);
+  RecomputeBasicValues();
+  return true;
+}
+
+void SimplexSolver::RecomputeBasicValues() {
+  std::vector<double> r = rhs_;
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic || xval_[j] == 0.0) continue;
+    for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      r[row_index_[k]] -= value_[k] * xval_[j];
+    }
+  }
+  Ftran(r);
+  for (int i = 0; i < num_rows_; ++i) xval_[basis_[i]] = r[i];
+}
+
+void SimplexSolver::ComputeReducedCosts(std::vector<double>& d) const {
+  std::vector<double> pi(num_rows_, 0.0);
+  for (int i = 0; i < num_rows_; ++i) pi[i] = cost_[basis_[i]];
+  Btran(pi);
+  d.assign(num_cols_, 0.0);
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    double dj = cost_[j];
+    for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      dj -= pi[row_index_[k]] * value_[k];
+    }
+    d[j] = dj;
+  }
+}
+
+int SimplexSolver::PriceDantzig(const std::vector<double>& d) const {
+  int best = -1;
+  double best_violation = options_.optimality_tol;
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;  // fixed: cannot move
+    double violation = 0.0;
+    if (state_[j] == VarState::kAtLower) {
+      // Can increase (or, for free variables parked at 0, also decrease —
+      // treated as increase of the mirrored direction below).
+      violation = -d[j];
+      if (!std::isfinite(lower_[j]) && d[j] > options_.optimality_tol) {
+        violation = d[j];  // free variable can decrease too
+      }
+    } else {
+      violation = d[j];
+    }
+    if (violation > best_violation) {
+      best_violation = violation;
+      best = j;
+    }
+  }
+  return best;
+}
+
+int SimplexSolver::PriceBland(const std::vector<double>& d) const {
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;
+    if (state_[j] == VarState::kAtLower) {
+      if (d[j] < -options_.optimality_tol) return j;
+      if (!std::isfinite(lower_[j]) && d[j] > options_.optimality_tol)
+        return j;
+    } else {
+      if (d[j] > options_.optimality_tol) return j;
+    }
+  }
+  return -1;
+}
+
+double SimplexSolver::PhaseObjective() const {
+  double obj = 0.0;
+  for (int j = 0; j < num_cols_; ++j) obj += cost_[j] * xval_[j];
+  return obj;
+}
+
+LpStatus SimplexSolver::RunPhase(long max_iterations) {
+  std::vector<double> d;
+  std::vector<double> w(num_rows_);
+  double last_objective = PhaseObjective();
+  int since_refactor = 0;
+
+  while (true) {
+    if (iterations_ >= max_iterations) return LpStatus::kIterationLimit;
+    if ((iterations_ & 63) == 0 && deadline_.Expired()) {
+      return LpStatus::kIterationLimit;
+    }
+    ComputeReducedCosts(d);
+    const int entering =
+        use_bland_ ? PriceBland(d) : PriceDantzig(d);
+    if (entering < 0) return LpStatus::kOptimal;
+
+    // Direction: +1 when the entering variable increases.
+    int dir;
+    if (state_[entering] == VarState::kAtLower) {
+      dir = (d[entering] < 0 || std::isfinite(lower_[entering])) ? +1 : -1;
+      if (!std::isfinite(lower_[entering]) && d[entering] > 0) dir = -1;
+    } else {
+      dir = -1;
+    }
+
+    ScatterColumn(entering, w);
+    Ftran(w);
+
+    // Ratio test.
+    double best_delta = kLpInfinity;
+    int leaving_row = -1;
+    double leaving_abs = 0.0;
+    bool leaving_to_upper = false;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double wi = w[i];
+      if (std::abs(wi) <= options_.pivot_tol) continue;
+      const int b = basis_[i];
+      const double rate = -dir * wi;  // d(x_b)/d(delta)
+      double limit;
+      bool to_upper;
+      if (rate < 0) {
+        if (!std::isfinite(lower_[b])) continue;
+        limit = (xval_[b] - lower_[b]) / (-rate);
+        to_upper = false;
+      } else {
+        if (!std::isfinite(upper_[b])) continue;
+        limit = (upper_[b] - xval_[b]) / rate;
+        to_upper = true;
+      }
+      if (limit < 0) limit = 0;  // tolerate tiny infeasibilities
+      const bool better =
+          limit < best_delta - 1e-12 ||
+          (limit < best_delta + 1e-12 && std::abs(wi) > leaving_abs);
+      if (better) {
+        best_delta = limit;
+        leaving_row = i;
+        leaving_abs = std::abs(wi);
+        leaving_to_upper = to_upper;
+      }
+    }
+    double bound_delta = kLpInfinity;
+    if (std::isfinite(lower_[entering]) && std::isfinite(upper_[entering])) {
+      bound_delta = upper_[entering] - lower_[entering];
+    }
+
+    const double delta = std::min(best_delta, bound_delta);
+    if (!std::isfinite(delta)) return LpStatus::kUnbounded;
+
+    // Apply the step.
+    if (delta != 0.0) {
+      for (int i = 0; i < num_rows_; ++i) {
+        if (w[i] != 0.0) xval_[basis_[i]] -= dir * w[i] * delta;
+      }
+      xval_[entering] += dir * delta;
+    }
+
+    if (bound_delta <= best_delta + 1e-12 && bound_delta < kLpInfinity &&
+        delta == bound_delta) {
+      // Bound flip: no basis change.
+      state_[entering] = (state_[entering] == VarState::kAtLower)
+                             ? VarState::kAtUpper
+                             : VarState::kAtLower;
+      xval_[entering] = (state_[entering] == VarState::kAtUpper)
+                            ? upper_[entering]
+                            : lower_[entering];
+    } else {
+      assert(leaving_row >= 0);
+      const int leaving = basis_[leaving_row];
+      state_[leaving] =
+          leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
+      xval_[leaving] = leaving_to_upper ? upper_[leaving] : lower_[leaving];
+      state_[entering] = VarState::kBasic;
+      basis_[leaving_row] = entering;
+
+      Eta eta;
+      eta.row = leaving_row;
+      eta.pivot = w[leaving_row];
+      for (int i = 0; i < num_rows_; ++i) {
+        if (i != leaving_row && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
+      }
+      etas_.push_back(std::move(eta));
+      ++since_refactor;
+    }
+
+    ++iterations_;
+
+    // Stall detection for anti-cycling.
+    const double objective = PhaseObjective();
+    if (objective < last_objective - 1e-12 * (1.0 + std::abs(last_objective))) {
+      stall_count_ = 0;
+      last_objective = objective;
+    } else if (++stall_count_ > options_.stall_threshold) {
+      use_bland_ = true;
+    }
+
+    if (since_refactor >= options_.refactor_interval) {
+      if (!Refactorize()) return LpStatus::kNumericalFailure;
+      since_refactor = 0;
+    }
+  }
+}
+
+LpResult SimplexSolver::Solve() {
+  LpResult result;
+  const long max_iterations =
+      options_.max_iterations > 0
+          ? options_.max_iterations
+          : 200L * (num_rows_ + num_cols_) + 20000L;
+
+  // Phase 1: drive artificials to zero.
+  const bool has_artificials = num_cols_ > first_artificial_;
+  if (has_artificials) {
+    cost_.assign(num_cols_, 0.0);
+    for (int j = first_artificial_; j < num_cols_; ++j) cost_[j] = 1.0;
+    LpStatus status = RunPhase(max_iterations);
+    phase1_iterations_ = iterations_;
+    if (status == LpStatus::kNumericalFailure ||
+        status == LpStatus::kIterationLimit) {
+      result.status = status;
+      result.iterations = iterations_;
+      return result;
+    }
+    // Unbounded cannot happen in phase 1 (objective bounded below by 0).
+    const double infeasibility = PhaseObjective();
+    if (infeasibility > options_.feasibility_tol * (1.0 + std::abs(infeasibility))
+        && infeasibility > 1e-6) {
+      result.status = LpStatus::kInfeasible;
+      result.iterations = iterations_;
+      return result;
+    }
+    // Fix artificials at zero for phase 2.
+    for (int j = first_artificial_; j < num_cols_; ++j) {
+      lower_[j] = upper_[j] = 0.0;
+      if (state_[j] != VarState::kBasic) xval_[j] = 0.0;
+    }
+  }
+
+  cost_ = real_cost_;
+  cost_.resize(num_cols_, 0.0);
+  LpStatus status = RunPhase(max_iterations);
+  result.status = status;
+  result.iterations = iterations_;
+  result.phase1_iterations = phase1_iterations_;
+  if (status == LpStatus::kOptimal || status == LpStatus::kIterationLimit) {
+    result.values.assign(xval_.begin(), xval_.begin() + num_struct_);
+    result.objective = model_.EvaluateObjective(result.values);
+  }
+  return result;
+}
+
+}  // namespace
+
+LpResult SolveLp(const LpModel& model, const SimplexOptions& options,
+                 const std::vector<std::pair<double, double>>*
+                     bound_overrides) {
+  SimplexSolver solver(model, options, bound_overrides);
+  LpResult result = solver.Solve();
+  if (result.status == LpStatus::kNumericalFailure) {
+    // One retry with tighter refactorization; PFI accuracy is the usual
+    // culprit and a short eta file avoids it.
+    SimplexOptions retry = options;
+    retry.refactor_interval = 20;
+    retry.pivot_tol = 1e-10;
+    SimplexSolver second(model, retry, bound_overrides);
+    result = second.Solve();
+  }
+  return result;
+}
+
+}  // namespace vpart

@@ -1,0 +1,62 @@
+#ifndef VPART_LP_SIMPLEX_H_
+#define VPART_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace vpart {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct SimplexOptions {
+  /// Bound/row feasibility tolerance.
+  double feasibility_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  /// Smallest usable pivot element.
+  double pivot_tol = 1e-8;
+  /// Hard iteration cap; <= 0 selects an automatic cap of
+  /// 200·(rows+cols) + 20000.
+  long max_iterations = -1;
+  /// Wall-clock cap in seconds; <= 0 means none. A timed-out solve reports
+  /// kIterationLimit (the result is unusable either way).
+  double time_limit_seconds = 0.0;
+  /// Refactorize (rebuild the product-form inverse) this often.
+  int refactor_interval = 100;
+  /// After this many consecutive non-improving (degenerate) iterations the
+  /// pricing switches to Bland's rule, which guarantees termination.
+  long stall_threshold = 2000;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kNumericalFailure;
+  double objective = 0.0;
+  std::vector<double> values;  // structural variables only
+  long iterations = 0;
+  long phase1_iterations = 0;
+};
+
+/// Solves the LP relaxation of `model` (integrality flags ignored) with a
+/// two-phase primal simplex: bounded variables, product-form inverse,
+/// Dantzig pricing with a Bland anti-cycling fallback.
+///
+/// `bound_overrides`, when non-null, supplies per-variable (lower, upper)
+/// pairs replacing the model bounds — used by branch & bound to explore
+/// nodes without copying the model.
+LpResult SolveLp(const LpModel& model, const SimplexOptions& options = {},
+                 const std::vector<std::pair<double, double>>*
+                     bound_overrides = nullptr);
+
+}  // namespace vpart
+
+#endif  // VPART_LP_SIMPLEX_H_

@@ -1,0 +1,324 @@
+#include "mip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace vpart {
+
+const char* MipStatusName(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "OPTIMAL";
+    case MipStatus::kFeasible:
+      return "FEASIBLE";
+    case MipStatus::kInfeasible:
+      return "INFEASIBLE";
+    case MipStatus::kNoSolution:
+      return "NO_SOLUTION";
+  }
+  return "UNKNOWN";
+}
+
+double MipResult::GapPercent() const {
+  if (!has_incumbent()) return 100.0;
+  if (!std::isfinite(best_bound)) return 100.0;
+  const double denom = std::max(std::abs(objective), 1e-9);
+  return 100.0 * std::max(0.0, (objective - best_bound)) / denom;
+}
+
+namespace {
+
+/// A node is a chain of single-variable bound tightenings over the root.
+struct Node {
+  int parent = -1;
+  int var = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+  double bound = -kLpInfinity;  // LP bound inherited from the parent
+  int depth = 0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const LpModel& model, const MipOptions& options)
+      : model_(model), options_(options), deadline_(options.time_limit_seconds) {}
+
+  MipResult Run();
+
+ private:
+  void MaterializeBounds(int node_index,
+                         std::vector<std::pair<double, double>>& bounds,
+                         const std::vector<Node>& nodes) const;
+  int PickBranchingVariable(const std::vector<double>& x) const;
+  bool TryUpdateIncumbent(const std::vector<double>& x, double objective);
+  bool GapClosed() const;
+  /// Rounding dive from (bounds, lp): repeatedly fixes the fractional
+  /// integer closest to integrality at its rounding and re-solves. Any
+  /// integral LP optimum found becomes an incumbent candidate.
+  void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp);
+
+  const LpModel& model_;
+  const MipOptions& options_;
+  Deadline deadline_;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = kLpInfinity;
+  std::vector<double> incumbent_;
+  std::multiset<double> open_bounds_;
+  double root_bound_ = -kLpInfinity;
+  MipResult result_;
+};
+
+void BranchAndBound::MaterializeBounds(
+    int node_index, std::vector<std::pair<double, double>>& bounds,
+    const std::vector<Node>& nodes) const {
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    bounds[j] = {model_.variable(j).lower, model_.variable(j).upper};
+  }
+  // Walk the chain root-ward; tightenings deeper in the tree win, so apply
+  // by intersecting (each variable is only tightened monotonically anyway).
+  for (int i = node_index; i >= 0; i = nodes[i].parent) {
+    const Node& node = nodes[i];
+    if (node.var < 0) continue;
+    bounds[node.var].first = std::max(bounds[node.var].first, node.lower);
+    bounds[node.var].second = std::min(bounds[node.var].second, node.upper);
+  }
+}
+
+int BranchAndBound::PickBranchingVariable(const std::vector<double>& x) const {
+  int best = -1;
+  double best_score = options_.integrality_tol;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (!model_.variable(j).is_integer) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_score) {
+      best_score = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool BranchAndBound::TryUpdateIncumbent(const std::vector<double>& x,
+                                        double objective) {
+  if (have_incumbent_ && objective >= incumbent_obj_) return false;
+  // Round integers exactly before storing.
+  std::vector<double> rounded = x;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (model_.variable(j).is_integer) rounded[j] = std::round(rounded[j]);
+  }
+  // Defense in depth: never accept an incumbent the model itself rejects
+  // (protects against LP tolerance drift after rounding).
+  if (!model_.CheckFeasible(rounded, 1e-5).ok()) {
+    VPART_LOG(Warning) << "rejecting infeasible rounded incumbent";
+    return false;
+  }
+  have_incumbent_ = true;
+  incumbent_obj_ = model_.EvaluateObjective(rounded);
+  incumbent_ = std::move(rounded);
+  return true;
+}
+
+void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
+                          LpResult lp) {
+  // Bounded number of re-solves; each dive step fixes one variable.
+  const int max_depth = model_.num_variables() + 8;
+  for (int depth = 0; depth < max_depth; ++depth) {
+    if (deadline_.Expired()) return;
+    // Find the fractional integer variable closest to an integer value.
+    int best = -1;
+    double best_dist = 0.5 + 1e-9;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      if (!model_.variable(j).is_integer) continue;
+      const double frac = lp.values[j] - std::floor(lp.values[j]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > 1e-6 && dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (best < 0) {
+      // Integral: candidate incumbent.
+      TryUpdateIncumbent(lp.values, lp.objective);
+      return;
+    }
+    const double rounded = std::round(lp.values[best]);
+    bounds[best] = {rounded, rounded};
+    SimplexOptions lp_options = options_.lp_options;
+    if (deadline_.HasLimit()) {
+      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
+    }
+    lp = SolveLp(model_, lp_options, &bounds);
+    result_.lp_iterations += lp.iterations;
+    if (lp.status != LpStatus::kOptimal) return;  // dead end; give up
+    if (have_incumbent_ && lp.objective >= incumbent_obj_) return;
+  }
+}
+
+bool BranchAndBound::GapClosed() const {
+  if (!have_incumbent_) return false;
+  const double bound =
+      open_bounds_.empty() ? incumbent_obj_ : *open_bounds_.begin();
+  const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
+  return (incumbent_obj_ - bound) / denom <= options_.relative_gap + 1e-12;
+}
+
+MipResult BranchAndBound::Run() {
+  Stopwatch watch;
+
+  if (options_.initial_solution != nullptr) {
+    const std::vector<double>& x0 = *options_.initial_solution;
+    if (model_.CheckFeasible(x0, 1e-6).ok()) {
+      TryUpdateIncumbent(x0, model_.EvaluateObjective(x0));
+    } else {
+      VPART_LOG(Warning) << "warm-start solution rejected as infeasible";
+    }
+  }
+
+  std::vector<Node> nodes;
+  nodes.reserve(1024);
+  Node root;
+  nodes.push_back(root);
+  std::vector<int> stack = {0};
+  open_bounds_.insert(-kLpInfinity);
+
+  std::vector<std::pair<double, double>> bounds(model_.num_variables());
+  bool limit_hit = false;
+  bool any_lp_failure = false;
+
+  while (!stack.empty()) {
+    if (deadline_.Expired() ||
+        (options_.max_nodes > 0 && result_.nodes >= options_.max_nodes)) {
+      limit_hit = true;
+      break;
+    }
+    if (GapClosed()) break;
+
+    const int node_index = stack.back();
+    stack.pop_back();
+    const Node node = nodes[node_index];
+    open_bounds_.erase(open_bounds_.find(node.bound));
+
+    // Bound-based pruning against the incumbent (gap-aware).
+    if (have_incumbent_) {
+      const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
+      if ((incumbent_obj_ - node.bound) / denom <= options_.relative_gap) {
+        continue;
+      }
+    }
+
+    ++result_.nodes;
+    MaterializeBounds(node_index, bounds, nodes);
+
+    SimplexOptions lp_options = options_.lp_options;
+    if (deadline_.HasLimit()) {
+      // Never let one relaxation run past the MIP's own wall clock.
+      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
+    }
+    LpResult lp = SolveLp(model_, lp_options, &bounds);
+    result_.lp_iterations += lp.iterations;
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      // A bounded-variable MIP cannot be unbounded unless the model has
+      // unbounded continuous directions; surface as a failure bound.
+      VPART_LOG(Warning) << "LP relaxation unbounded at node";
+      continue;
+    }
+    if (lp.status != LpStatus::kOptimal) {
+      any_lp_failure = true;
+      continue;  // conservative: drop the node (bound stays valid via others)
+    }
+
+    const double lp_bound = lp.objective;
+    if (node_index == 0) root_bound_ = lp_bound;
+    if (have_incumbent_) {
+      const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
+      if ((incumbent_obj_ - lp_bound) / denom <= options_.relative_gap) {
+        continue;
+      }
+    }
+
+    const int branch_var = PickBranchingVariable(lp.values);
+    if (branch_var < 0) {
+      TryUpdateIncumbent(lp.values, lp_bound);
+      continue;
+    }
+
+    // Primal heuristic: dive from the root, and periodically while no
+    // incumbent has been found yet.
+    if (options_.enable_dive &&
+        (result_.nodes == 1 ||
+         (!have_incumbent_ && result_.nodes % 50 == 0))) {
+      Dive(bounds, lp);
+    }
+
+    const double value = lp.values[branch_var];
+    const double floor_value = std::floor(value);
+
+    Node down;
+    down.parent = node_index;
+    down.var = branch_var;
+    down.lower = bounds[branch_var].first;
+    down.upper = floor_value;
+    down.bound = lp_bound;
+    down.depth = node.depth + 1;
+
+    Node up;
+    up.parent = node_index;
+    up.var = branch_var;
+    up.lower = floor_value + 1.0;
+    up.upper = bounds[branch_var].second;
+    up.bound = lp_bound;
+    up.depth = node.depth + 1;
+
+    // Plunge toward the side the LP leans to (pushed last = explored first).
+    const bool prefer_up = (value - floor_value) > 0.5;
+    const Node& first = prefer_up ? down : up;
+    const Node& second = prefer_up ? up : down;
+    nodes.push_back(first);
+    stack.push_back(static_cast<int>(nodes.size()) - 1);
+    open_bounds_.insert(first.bound);
+    nodes.push_back(second);
+    stack.push_back(static_cast<int>(nodes.size()) - 1);
+    open_bounds_.insert(second.bound);
+  }
+
+  result_.seconds = watch.ElapsedSeconds();
+  // Best bound: min over still-open nodes; exhausted tree -> incumbent.
+  double open_min = kLpInfinity;
+  for (int i : stack) open_min = std::min(open_min, nodes[i].bound);
+  if (stack.empty() && !limit_hit) {
+    result_.best_bound = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+  } else {
+    result_.best_bound =
+        std::isfinite(open_min) ? open_min : root_bound_;
+  }
+
+  if (have_incumbent_) {
+    result_.objective = incumbent_obj_;
+    result_.values = incumbent_;
+    const bool proved = (stack.empty() && !limit_hit && !any_lp_failure) ||
+                        GapClosed();
+    result_.status = proved ? MipStatus::kOptimal : MipStatus::kFeasible;
+  } else if (stack.empty() && !limit_hit && !any_lp_failure) {
+    result_.status = MipStatus::kInfeasible;
+  } else {
+    result_.status = MipStatus::kNoSolution;
+  }
+  return result_;
+}
+
+}  // namespace
+
+MipResult SolveMip(const LpModel& model, const MipOptions& options) {
+  BranchAndBound solver(model, options);
+  return solver.Run();
+}
+
+}  // namespace vpart

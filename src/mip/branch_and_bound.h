@@ -1,0 +1,66 @@
+#ifndef VPART_MIP_BRANCH_AND_BOUND_H_
+#define VPART_MIP_BRANCH_AND_BOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace vpart {
+
+enum class MipStatus {
+  kOptimal,     // proved within the requested gap
+  kFeasible,    // limit hit with an incumbent (paper: "(cost)" cells)
+  kInfeasible,  // proved infeasible
+  kNoSolution,  // limit hit with no incumbent (paper: "t/o" cells)
+};
+
+const char* MipStatusName(MipStatus status);
+
+struct MipOptions {
+  /// Wall-clock limit; <= 0 means unlimited. The paper ran GLPK with a
+  /// 30-minute bound; our benches default much lower (see DESIGN.md).
+  double time_limit_seconds = 30.0;
+  /// Stop when (incumbent - bound) / |incumbent| falls below this. The
+  /// paper used an "MIP tolerance gap of 0.1%".
+  double relative_gap = 0.001;
+  /// Node limit; <= 0 means unlimited.
+  long max_nodes = -1;
+  double integrality_tol = 1e-6;
+  SimplexOptions lp_options;
+  /// Optional warm-start incumbent (full variable assignment). Checked for
+  /// feasibility; ignored if infeasible.
+  const std::vector<double>* initial_solution = nullptr;
+  /// Run a rounding dive (fix the most-decided fractional, re-solve) at the
+  /// root and periodically until an incumbent exists. Cheap primal
+  /// heuristic standing in for the ones inside industrial solvers.
+  bool enable_dive = true;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kNoSolution;
+  /// Incumbent objective (valid unless status is kInfeasible/kNoSolution).
+  double objective = 0.0;
+  /// Best proven lower bound (minimization).
+  double best_bound = -kLpInfinity;
+  std::vector<double> values;
+  long nodes = 0;
+  long lp_iterations = 0;
+  double seconds = 0.0;
+
+  bool has_incumbent() const {
+    return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
+  }
+  /// Relative gap in percent (0 when proved optimal with equal bounds).
+  double GapPercent() const;
+};
+
+/// Solves min c·x over `model` with branch & bound: depth-first plunging on
+/// the most fractional binary, LP relaxations via SolveLp with per-node
+/// bound overrides, best-bound tracking for the gap criterion.
+MipResult SolveMip(const LpModel& model, const MipOptions& options = {});
+
+}  // namespace vpart
+
+#endif  // VPART_MIP_BRANCH_AND_BOUND_H_

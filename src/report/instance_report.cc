@@ -1,0 +1,83 @@
+#include "report/instance_report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+InstanceStats ComputeInstanceStats(const Instance& instance) {
+  InstanceStats stats;
+  const Schema& schema = instance.schema();
+  const Workload& workload = instance.workload();
+  stats.tables = schema.num_tables();
+  stats.attributes = schema.num_attributes();
+  stats.transactions = workload.num_transactions();
+  stats.queries = workload.num_queries();
+
+  stats.min_width = stats.attributes > 0 ? schema.attribute(0).width : 0;
+  for (const Attribute& attr : schema.attributes()) {
+    stats.total_width += attr.width;
+    stats.min_width = std::min(stats.min_width, attr.width);
+    stats.max_width = std::max(stats.max_width, attr.width);
+  }
+  for (const Table& table : schema.tables()) {
+    double row = 0;
+    for (int a : table.attribute_ids) row += schema.attribute(a).width;
+    if (row > stats.widest_table_bytes) {
+      stats.widest_table_bytes = row;
+      stats.widest_table = table.id;
+    }
+  }
+
+  std::vector<bool> referenced(stats.attributes, false);
+  for (const Query& query : workload.queries()) {
+    if (query.is_write()) {
+      ++stats.write_queries;
+    } else {
+      ++stats.read_queries;
+    }
+    for (int a : query.attributes) referenced[a] = true;
+  }
+  stats.referenced_attributes =
+      static_cast<int>(std::count(referenced.begin(), referenced.end(), true));
+
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    const bool write = instance.is_write(q);
+    for (int a = 0; a < stats.attributes; ++a) {
+      const double w = instance.W(a, q);
+      stats.total_weight += w;
+      if (write) stats.write_weight += w;
+    }
+  }
+  return stats;
+}
+
+std::string RenderInstanceSummary(const Instance& instance) {
+  const InstanceStats stats = ComputeInstanceStats(instance);
+  std::ostringstream out;
+  out << "instance " << instance.name() << ":\n";
+  out << StrFormat("  %d tables, %d attributes (%d referenced by queries)\n",
+                   stats.tables, stats.attributes,
+                   stats.referenced_attributes);
+  out << StrFormat("  %d transactions, %d queries (%d read / %d write)\n",
+                   stats.transactions, stats.queries, stats.read_queries,
+                   stats.write_queries);
+  out << StrFormat("  attribute widths: %.0f..%.0f bytes, %.0f total\n",
+                   stats.min_width, stats.max_width, stats.total_width);
+  if (stats.widest_table >= 0) {
+    out << StrFormat("  widest table: %s (%.0f bytes/row)\n",
+                     instance.schema().table(stats.widest_table).name.c_str(),
+                     stats.widest_table_bytes);
+  }
+  const double write_share =
+      stats.total_weight > 0 ? 100.0 * stats.write_weight / stats.total_weight
+                             : 0.0;
+  out << StrFormat("  workload weight: %.0f (%.1f%% from writes)\n",
+                   stats.total_weight, write_share);
+  return out.str();
+}
+
+}  // namespace vpart

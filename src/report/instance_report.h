@@ -1,0 +1,36 @@
+#ifndef VPART_REPORT_INSTANCE_REPORT_H_
+#define VPART_REPORT_INSTANCE_REPORT_H_
+
+#include <string>
+
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// Aggregate statistics of a problem instance; the numbers a DBA would
+/// check before trusting the model's inputs.
+struct InstanceStats {
+  int tables = 0;
+  int attributes = 0;
+  int transactions = 0;
+  int queries = 0;
+  int read_queries = 0;
+  int write_queries = 0;
+  double total_width = 0.0;        // Σ attribute widths (bytes)
+  double min_width = 0.0;
+  double max_width = 0.0;
+  double total_weight = 0.0;       // Σ W_{a,q}
+  double write_weight = 0.0;       // Σ W over write queries
+  int widest_table = -1;           // table id with the largest row width
+  double widest_table_bytes = 0.0;
+  int referenced_attributes = 0;   // attributes referenced by some query
+};
+
+InstanceStats ComputeInstanceStats(const Instance& instance);
+
+/// Multi-line human-readable rendering of the stats.
+std::string RenderInstanceSummary(const Instance& instance);
+
+}  // namespace vpart
+
+#endif  // VPART_REPORT_INSTANCE_REPORT_H_

@@ -1,0 +1,63 @@
+#include "report/partition_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+std::string RenderPartitionTable(const Instance& instance,
+                                 const Partitioning& partitioning) {
+  std::ostringstream out;
+  for (int s = 0; s < partitioning.num_sites(); ++s) {
+    out << "=== Site " << (s + 1) << " ===\n";
+    for (int t : partitioning.TransactionsOnSite(s)) {
+      out << "Transaction " << instance.workload().transaction(t).name
+          << "\n";
+    }
+    std::vector<std::string> names;
+    for (int a : partitioning.AttributesOnSite(s)) {
+      names.push_back(instance.schema().QualifiedName(a));
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      out << "  " << name << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderPartitionSummary(const CostModel& cost_model,
+                                   const Partitioning& partitioning) {
+  const Instance& instance = cost_model.instance();
+  std::ostringstream out;
+  const CostBreakdown breakdown = cost_model.Breakdown(partitioning);
+  out << StrFormat(
+      "objective(4) = %.6g  [read %.6g + write %.6g + p*transfer %g*%.6g]\n",
+      breakdown.total, breakdown.read_access, breakdown.write_access,
+      cost_model.params().p, breakdown.transfer);
+  out << StrFormat("objective(6) = %.6g  (lambda = %g)\n",
+                   cost_model.ScalarizedObjective(partitioning),
+                   cost_model.params().lambda);
+  for (int s = 0; s < partitioning.num_sites(); ++s) {
+    out << StrFormat(
+        "site %d: %2zu transactions, %3zu attributes, load %.6g\n", s + 1,
+        partitioning.TransactionsOnSite(s).size(),
+        partitioning.AttributesOnSite(s).size(),
+        cost_model.SiteLoad(partitioning, s));
+  }
+  int replicated = 0;
+  int replicas = 0;
+  for (int a = 0; a < instance.num_attributes(); ++a) {
+    const int count = partitioning.ReplicaCount(a);
+    replicas += count;
+    if (count > 1) ++replicated;
+  }
+  out << StrFormat("%d/%d attributes replicated (%d placements total)\n",
+                   replicated, instance.num_attributes(), replicas);
+  return out.str();
+}
+
+}  // namespace vpart

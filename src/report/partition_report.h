@@ -1,0 +1,23 @@
+#ifndef VPART_REPORT_PARTITION_REPORT_H_
+#define VPART_REPORT_PARTITION_REPORT_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+
+namespace vpart {
+
+/// Renders a partitioning in the layout of the paper's Table 4: one section
+/// per site listing its transactions, then its attributes in qualified-name
+/// order.
+std::string RenderPartitionTable(const Instance& instance,
+                                 const Partitioning& partitioning);
+
+/// One-paragraph summary: objective (4), breakdown, per-site loads,
+/// replication statistics. Used by the examples and benches.
+std::string RenderPartitionSummary(const CostModel& cost_model,
+                                   const Partitioning& partitioning);
+
+}  // namespace vpart
+
+#endif  // VPART_REPORT_PARTITION_REPORT_H_

@@ -1,0 +1,96 @@
+#include "report/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vpart {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '(' && c != ')' && c != '%' &&
+        c != 'e') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(cell[0])) ||
+         cell[0] == '-' || cell[0] == '(' || cell[0] == '.';
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({}); }
+
+std::string TablePrinter::ToString() const {
+  const size_t cols = headers_.size();
+  std::vector<size_t> width(cols, 0);
+  for (size_t c = 0; c < cols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    for (size_t c = 0; c < cols; ++c) {
+      out << "+" << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const bool right = align_numeric && LooksNumeric(cell);
+      out << "| ";
+      if (right) {
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(width[c] - cell.size(), ' ');
+      }
+      out << " ";
+    }
+    out << "|\n";
+  };
+
+  rule();
+  emit(headers_, /*align_numeric=*/false);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row, /*align_numeric=*/true);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+std::string FormatCost(double value, double unit) {
+  if (!std::isfinite(value)) return "-";
+  return StrFormat("%.3f", value / unit);
+}
+
+std::string FormatCostCell(bool has_solution, bool timed_out, double value,
+                           double unit) {
+  if (!has_solution) return "t/o";
+  if (timed_out) return "(" + FormatCost(value, unit) + ")";
+  return FormatCost(value, unit);
+}
+
+}  // namespace vpart

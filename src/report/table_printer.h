@@ -1,0 +1,37 @@
+#ifndef VPART_REPORT_TABLE_PRINTER_H_
+#define VPART_REPORT_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace vpart {
+
+/// Column-aligned ASCII tables for the bench harness. Numeric-looking cells
+/// are right-aligned, everything else left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a cost in the paper's table style: `value / unit` with three
+/// decimals, e.g. unit=1e6 -> "1.567". NaN prints "-".
+std::string FormatCost(double value, double unit);
+
+/// Paper Table-3 style cell: plain for proved optima, "(cost)" when a limit
+/// was hit with an incumbent, "t/o" with none.
+std::string FormatCostCell(bool has_solution, bool timed_out, double value,
+                           double unit);
+
+}  // namespace vpart
+
+#endif  // VPART_REPORT_TABLE_PRINTER_H_

@@ -1,0 +1,63 @@
+#ifndef VPART_SOLVER_ADVISOR_H_
+#define VPART_SOLVER_ADVISOR_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "solver/ilp_solver.h"
+#include "solver/sa_solver.h"
+#include "util/status.h"
+
+namespace vpart {
+
+/// High-level entry point: instance in, recommended partitioning out.
+/// Wraps attribute grouping (§4), algorithm selection, and reporting — the
+/// API a downstream user of the library would call.
+struct AdvisorOptions {
+  enum class Algorithm {
+    kAuto,        // exhaustive for tiny, ILP for small, SA otherwise
+    kIlp,         // the paper's QP solver
+    kSa,          // the paper's SA heuristic
+    kExhaustive,  // exact enumeration (small |T| only)
+    kIncremental, // §4's 20/80 iterative heuristic
+  };
+
+  int num_sites = 2;
+  CostParams cost;  // p and λ
+  Algorithm algorithm = Algorithm::kAuto;
+  bool allow_replication = true;
+  /// Apply the §4 reasonable-cuts reduction before solving (exact).
+  bool use_attribute_grouping = true;
+  /// Appendix A: per-query latency penalty p_l added to the objective for
+  /// write queries touching remote replicas. 0 disables the extension.
+  /// Honored exactly by the ILP path; the heuristic paths optimize the base
+  /// objective and report the latency exposure of their result.
+  double latency_penalty = 0.0;
+  double time_limit_seconds = 30.0;
+  double mip_gap = 0.001;
+  uint64_t seed = 1;
+};
+
+struct AdvisorResult {
+  Partitioning partitioning;
+  /// Objective (4) of the recommendation and of the single-site baseline.
+  double cost = 0.0;
+  double single_site_cost = 0.0;
+  /// 1 − cost/single_site_cost, the paper's headline metric.
+  double reduction_percent = 0.0;
+  CostBreakdown breakdown;
+  /// Appendix-A latency exposure p_l·Σ f_q·ψ_q of the recommendation
+  /// (0 when latency_penalty is 0).
+  double latency_cost = 0.0;
+  std::string algorithm_used;
+  double seconds = 0.0;
+  /// Set when the ILP path proved optimality within the gap.
+  bool proven_optimal = false;
+};
+
+StatusOr<AdvisorResult> AdvisePartitioning(const Instance& instance,
+                                           const AdvisorOptions& options);
+
+}  // namespace vpart
+
+#endif  // VPART_SOLVER_ADVISOR_H_

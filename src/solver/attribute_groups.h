@@ -1,0 +1,40 @@
+#ifndef VPART_SOLVER_ATTRIBUTE_GROUPS_H_
+#define VPART_SOLVER_ATTRIBUTE_GROUPS_H_
+
+#include <vector>
+
+#include "cost/partitioning.h"
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// §4 "reasonable cuts" reduction: attributes of the same table with an
+/// identical query-reference signature (the α column) behave identically in
+/// every cost term — c1..c4 are linear in the attribute width — so they can
+/// be fused into one pseudo-attribute whose width is the group's total
+/// width. Solving the reduced instance and copying each group's placement
+/// to its members is exact: objective values coincide term by term.
+struct AttributeGrouping {
+  /// The reduced instance (one pseudo-attribute per group). Its attribute
+  /// ids are group ids.
+  Instance reduced;
+
+  /// original attribute id -> group id.
+  std::vector<int> group_of_attribute;
+  /// group id -> original attribute ids (ascending).
+  std::vector<std::vector<int>> members;
+
+  int num_groups() const { return static_cast<int>(members.size()); }
+
+  /// Copies a reduced-instance partitioning back to original attributes.
+  /// Transaction assignments carry over unchanged.
+  Partitioning ExpandPartitioning(const Partitioning& reduced_solution) const;
+};
+
+/// Builds the grouping. Fails only on malformed instances.
+StatusOr<AttributeGrouping> BuildAttributeGrouping(const Instance& instance);
+
+}  // namespace vpart
+
+#endif  // VPART_SOLVER_ATTRIBUTE_GROUPS_H_

@@ -1,0 +1,44 @@
+#ifndef VPART_SOLVER_EXHAUSTIVE_SOLVER_H_
+#define VPART_SOLVER_EXHAUSTIVE_SOLVER_H_
+
+#include <optional>
+
+#include "cost/cost_model.h"
+
+namespace vpart {
+
+/// Exact-by-enumeration solver for small workloads: enumerates transaction
+/// assignments in canonical form (site labels ordered by first use — sites
+/// are interchangeable) and derives the optimal attribute placement per
+/// assignment in closed form (see ComputeOptimalY).
+///
+/// Exactness: for λ = 0 (no load-balancing term) the result is a global
+/// optimum of objective (4), for both replicated and disjoint modes. For
+/// λ > 0 the y placement is optimal for the cost part only, so the result
+/// is a (very tight) heuristic for objective (6); `exact` reports which
+/// case applied. Used as ground truth in the test suite.
+struct ExhaustiveOptions {
+  int num_sites = 2;
+  bool allow_replication = true;
+  /// Rank candidates by eq. (6) when true (requires a CostModel λ), by
+  /// eq. (4) when false.
+  bool rank_by_scalarized = true;
+  /// Abort knob: number of x assignments examined.
+  long max_candidates = 5'000'000;
+};
+
+struct ExhaustiveResult {
+  std::optional<Partitioning> partitioning;
+  double cost = 0.0;        // objective (4)
+  double scalarized = 0.0;  // objective (6)
+  long candidates = 0;
+  bool exhausted = true;  // false if max_candidates hit
+  bool exact = false;     // true when the result is a proven optimum
+};
+
+ExhaustiveResult SolveExhaustively(const CostModel& cost_model,
+                                   const ExhaustiveOptions& options = {});
+
+}  // namespace vpart
+
+#endif  // VPART_SOLVER_EXHAUSTIVE_SOLVER_H_

@@ -1,0 +1,211 @@
+#include "solver/formulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+Partitioning IlpFormulation::ExtractPartitioning(
+    const std::vector<double>& values) const {
+  const int num_t = static_cast<int>(x_var.size());
+  const int num_a = static_cast<int>(y_var.size());
+  Partitioning p(num_t, num_a, options.num_sites);
+  for (int t = 0; t < num_t; ++t) {
+    int best_site = 0;
+    double best_value = -1.0;
+    for (int s = 0; s < options.num_sites; ++s) {
+      if (values[x_var[t][s]] > best_value) {
+        best_value = values[x_var[t][s]];
+        best_site = s;
+      }
+    }
+    p.AssignTransaction(t, best_site);
+  }
+  for (int a = 0; a < num_a; ++a) {
+    for (int s = 0; s < options.num_sites; ++s) {
+      if (values[y_var[a][s]] > 0.5) p.PlaceAttribute(a, s);
+    }
+    if (p.ReplicaCount(a) == 0) {
+      // Defensive: the covering constraint should prevent this.
+      p.PlaceAttribute(a, 0);
+    }
+  }
+  return p;
+}
+
+std::vector<double> IlpFormulation::EncodePartitioning(
+    const CostModel& cost_model, const Partitioning& p) const {
+  const int num_sites = options.num_sites;
+  const int num_t = static_cast<int>(x_var.size());
+  const int num_a = static_cast<int>(y_var.size());
+  assert(p.num_sites() == num_sites);
+
+  // Site relabeling for the symmetry cut.
+  std::vector<int> relabel(num_sites);
+  for (int s = 0; s < num_sites; ++s) relabel[s] = s;
+  if (options.break_symmetry && num_t > 0) {
+    const int s0 = p.SiteOfTransaction(0);
+    std::swap(relabel[s0], relabel[0]);
+  }
+
+  std::vector<double> values(model.num_variables(), 0.0);
+  for (int t = 0; t < num_t; ++t) {
+    values[x_var[t][relabel[p.SiteOfTransaction(t)]]] = 1.0;
+  }
+  for (int a = 0; a < num_a; ++a) {
+    for (int s = 0; s < num_sites; ++s) {
+      if (p.HasAttribute(a, s)) values[y_var[a][relabel[s]]] = 1.0;
+    }
+  }
+  for (const UVar& u : u_vars) {
+    const int xs = relabel[p.SiteOfTransaction(u.t)];
+    // u.s already indexes the relabeled space, so compare against the
+    // relabeled x/y values directly.
+    const bool x_on = (xs == u.s);
+    bool y_on = false;
+    for (int s = 0; s < num_sites; ++s) {
+      if (relabel[s] == u.s) {
+        y_on = p.HasAttribute(u.a, s);
+        break;
+      }
+    }
+    values[u.column] = (x_on && y_on) ? 1.0 : 0.0;
+  }
+  if (m_var >= 0) {
+    values[m_var] = cost_model.MaxLoad(p);
+  }
+  return values;
+}
+
+IlpFormulation BuildIlpFormulation(const CostModel& cost_model,
+                                   const FormulationOptions& options) {
+  const Instance& instance = cost_model.instance();
+  const int num_t = instance.num_transactions();
+  const int num_a = instance.num_attributes();
+  const int num_s = options.num_sites;
+  assert(num_s >= 1);
+
+  IlpFormulation f;
+  f.options = options;
+  // Objective (6) as intended: (1−λ)·cost + λ·m. Without load balancing
+  // the objective is plain eq. (4).
+  f.lambda =
+      options.load_balancing ? 1.0 - cost_model.params().lambda : 1.0;
+  LpModel& model = f.model;
+
+  // --- variables ---------------------------------------------------------
+  f.x_var.assign(num_t, std::vector<int>(num_s, -1));
+  for (int t = 0; t < num_t; ++t) {
+    for (int s = 0; s < num_s; ++s) {
+      f.x_var[t][s] =
+          model.AddBinaryVariable(0.0, StrFormat("x_t%d_s%d", t, s));
+    }
+  }
+  f.y_var.assign(num_a, std::vector<int>(num_s, -1));
+  for (int a = 0; a < num_a; ++a) {
+    for (int s = 0; s < num_s; ++s) {
+      f.y_var[a][s] = model.AddBinaryVariable(
+          f.lambda * cost_model.c2(a), StrFormat("y_a%d_s%d", a, s));
+    }
+  }
+  if (options.load_balancing) {
+    f.m_var = model.AddVariable(0.0, kLpInfinity,
+                                cost_model.params().lambda, "m");
+  }
+
+  // u variables where they carry cost or load.
+  for (int t = 0; t < num_t; ++t) {
+    for (int a : instance.TouchedAttributesOfTransaction(t)) {
+      const double c1 = cost_model.c1(a, t);
+      const double c3 = cost_model.c3(a, t);
+      const bool in_load = options.load_balancing && c3 != 0.0;
+      if (c1 == 0.0 && !in_load) continue;
+      for (int s = 0; s < num_s; ++s) {
+        const int col = model.AddVariable(0.0, 1.0, f.lambda * c1,
+                                          StrFormat("u_t%d_a%d_s%d", t, a, s));
+        f.u_vars.push_back({t, a, s, col});
+      }
+    }
+  }
+
+  // --- constraints -------------------------------------------------------
+  // Each transaction on exactly one site.
+  for (int t = 0; t < num_t; ++t) {
+    std::vector<std::pair<int, double>> terms;
+    for (int s = 0; s < num_s; ++s) terms.emplace_back(f.x_var[t][s], 1.0);
+    model.AddConstraint(ConstraintSense::kEqual, 1.0, std::move(terms),
+                        StrFormat("assign_t%d", t));
+  }
+  // Attribute covering (>= 1, or == 1 for disjoint partitioning).
+  for (int a = 0; a < num_a; ++a) {
+    std::vector<std::pair<int, double>> terms;
+    for (int s = 0; s < num_s; ++s) terms.emplace_back(f.y_var[a][s], 1.0);
+    model.AddConstraint(options.allow_replication
+                            ? ConstraintSense::kGreaterEqual
+                            : ConstraintSense::kEqual,
+                        1.0, std::move(terms), StrFormat("cover_a%d", a));
+  }
+  // Single-sitedness of reads: y_{a,s} - x_{t,s} >= 0 where φ_{a,t} = 1.
+  for (int t = 0; t < num_t; ++t) {
+    for (int a : instance.ReadSetOfTransaction(t)) {
+      for (int s = 0; s < num_s; ++s) {
+        model.AddConstraint(
+            ConstraintSense::kGreaterEqual, 0.0,
+            {{f.y_var[a][s], 1.0}, {f.x_var[t][s], -1.0}},
+            StrFormat("coloc_t%d_a%d_s%d", t, a, s));
+      }
+    }
+  }
+  // u linking rows, direction-aware (see header comment).
+  for (const IlpFormulation::UVar& u : f.u_vars) {
+    const double c1 = cost_model.c1(u.a, u.t);
+    const double c3 = cost_model.c3(u.a, u.t);
+    const bool pressure_up = c1 < 0.0 || !options.direction_aware_links;
+    const bool pressure_down = c1 > 0.0 ||
+                               (options.load_balancing && c3 != 0.0) ||
+                               !options.direction_aware_links;
+    if (pressure_up) {
+      model.AddConstraint(ConstraintSense::kLessEqual, 0.0,
+                          {{u.column, 1.0}, {f.x_var[u.t][u.s], -1.0}},
+                          StrFormat("ux_t%d_a%d_s%d", u.t, u.a, u.s));
+      model.AddConstraint(ConstraintSense::kLessEqual, 0.0,
+                          {{u.column, 1.0}, {f.y_var[u.a][u.s], -1.0}},
+                          StrFormat("uy_t%d_a%d_s%d", u.t, u.a, u.s));
+    }
+    if (pressure_down) {
+      model.AddConstraint(ConstraintSense::kGreaterEqual, -1.0,
+                          {{u.column, 1.0},
+                           {f.x_var[u.t][u.s], -1.0},
+                           {f.y_var[u.a][u.s], -1.0}},
+                          StrFormat("uxy_t%d_a%d_s%d", u.t, u.a, u.s));
+    }
+  }
+  // Per-site load rows: Σ c3·u + Σ c4·y <= m.
+  if (options.load_balancing) {
+    for (int s = 0; s < num_s; ++s) {
+      std::vector<std::pair<int, double>> terms;
+      for (const IlpFormulation::UVar& u : f.u_vars) {
+        if (u.s != s) continue;
+        const double c3 = cost_model.c3(u.a, u.t);
+        if (c3 != 0.0) terms.emplace_back(u.column, c3);
+      }
+      for (int a = 0; a < num_a; ++a) {
+        const double c4 = cost_model.c4(a);
+        if (c4 != 0.0) terms.emplace_back(f.y_var[a][s], c4);
+      }
+      terms.emplace_back(f.m_var, -1.0);
+      model.AddConstraint(ConstraintSense::kLessEqual, 0.0, std::move(terms),
+                          StrFormat("load_s%d", s));
+    }
+  }
+  // Symmetry cut: transaction 0 on site 0.
+  if (options.break_symmetry && num_t > 0 && num_s > 1) {
+    model.AddConstraint(ConstraintSense::kEqual, 1.0,
+                        {{f.x_var[0][0], 1.0}}, "symmetry_t0_s0");
+  }
+  return f;
+}
+
+}  // namespace vpart

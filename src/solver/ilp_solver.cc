@@ -1,0 +1,50 @@
+#include "solver/ilp_solver.h"
+
+#include "solver/latency.h"
+#include "util/logging.h"
+
+namespace vpart {
+
+IlpSolveResult SolveWithIlp(const CostModel& cost_model,
+                            const IlpSolverOptions& options) {
+  IlpFormulation formulation =
+      BuildIlpFormulation(cost_model, options.formulation);
+  if (options.latency_penalty > 0) {
+    AddLatencyToFormulation(cost_model, options.latency_penalty, formulation);
+  }
+
+  MipOptions mip_options = options.mip;
+  std::vector<double> warm;
+  if (options.warm_start != nullptr && options.latency_penalty <= 0) {
+    warm = formulation.EncodePartitioning(cost_model, *options.warm_start);
+    mip_options.initial_solution = &warm;
+  }
+
+  MipResult mip = SolveMip(formulation.model, mip_options);
+
+  IlpSolveResult result;
+  result.status = mip.status;
+  result.seconds = mip.seconds;
+  result.nodes = mip.nodes;
+  result.best_bound = mip.best_bound;
+  result.gap_percent = mip.GapPercent();
+  if (mip.has_incumbent()) {
+    Partitioning p = formulation.ExtractPartitioning(mip.values);
+    Status feasible = ValidatePartitioning(
+        cost_model.instance(), p, !options.formulation.allow_replication);
+    if (!feasible.ok()) {
+      VPART_LOG(Warning) << "ILP incumbent failed validation: "
+                         << feasible.ToString();
+      result.status = MipStatus::kNoSolution;
+      return result;
+    }
+    result.cost = cost_model.Objective(p);
+    result.scalarized = options.formulation.load_balancing
+                            ? cost_model.ScalarizedObjective(p)
+                            : result.cost;
+    result.partitioning = std::move(p);
+  }
+  return result;
+}
+
+}  // namespace vpart

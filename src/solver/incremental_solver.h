@@ -1,0 +1,33 @@
+#ifndef VPART_SOLVER_INCREMENTAL_SOLVER_H_
+#define VPART_SOLVER_INCREMENTAL_SOLVER_H_
+
+#include "cost/cost_model.h"
+#include "solver/sa_solver.h"
+
+namespace vpart {
+
+/// §4's 20/80 idea: "assuming that transactions follow the 20/80 rule, the
+/// problem can be solved iteratively over T starting with a small set of
+/// the most heavy transactions."
+///
+/// Implementation: transactions are ranked by their workload weight
+/// (Σ over their queries of Σ_a W_{a,q}); the heaviest `initial_fraction`
+/// are annealed on their own sub-instance, the remaining transactions are
+/// folded in by batches — each placed on its cheapest feasible site, with a
+/// short re-anneal after every batch seeded from the current solution.
+struct IncrementalOptions {
+  double initial_fraction = 0.20;
+  int batches = 4;
+  SaOptions sa;
+};
+
+/// Returns a solution for the full instance behind `cost_model`.
+SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
+                            const IncrementalOptions& options = {});
+
+/// Ranks transactions by total weight, heaviest first (exposed for tests).
+std::vector<int> RankTransactionsByWeight(const Instance& instance);
+
+}  // namespace vpart
+
+#endif  // VPART_SOLVER_INCREMENTAL_SOLVER_H_

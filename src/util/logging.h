@@ -1,0 +1,61 @@
+#ifndef VPART_UTIL_LOGGING_H_
+#define VPART_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vpart {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that reaches stderr (default: kWarning so library
+/// consumers and benches stay quiet unless they opt in).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream when the message is below the active level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Precedence helper so the macro's ternary can consume a stream chain
+/// (classic glog "voidify" trick: & binds looser than <<).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace vpart
+
+#define VPART_LOG(level)                                                    \
+  (static_cast<int>(::vpart::LogLevel::k##level) <                          \
+   static_cast<int>(::vpart::GetLogLevel()))                                \
+      ? (void)0                                                             \
+      : ::vpart::internal::Voidify() &                                      \
+            ::vpart::internal::LogMessage(::vpart::LogLevel::k##level,      \
+                                          __FILE__, __LINE__)               \
+                .stream()
+
+#endif  // VPART_UTIL_LOGGING_H_

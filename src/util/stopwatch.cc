@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only today; this translation unit anchors the library target and
+// keeps a stable place for future non-inline timing helpers.

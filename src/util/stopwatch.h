@@ -1,0 +1,53 @@
+#ifndef VPART_UTIL_STOPWATCH_H_
+#define VPART_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vpart {
+
+/// Monotonic wall-clock stopwatch used for solver time limits and reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper: `Expired()` is false forever when constructed with a
+/// non-positive limit (meaning "no limit").
+class Deadline {
+ public:
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+
+  bool HasLimit() const { return limit_seconds_ > 0; }
+  bool Expired() const {
+    return HasLimit() && watch_.ElapsedSeconds() >= limit_seconds_;
+  }
+  double RemainingSeconds() const {
+    if (!HasLimit()) return 1e18;
+    double r = limit_seconds_ - watch_.ElapsedSeconds();
+    return r > 0 ? r : 0;
+  }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  double limit_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_UTIL_STOPWATCH_H_

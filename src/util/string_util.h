@@ -1,0 +1,38 @@
+#ifndef VPART_UTIL_STRING_UTIL_H_
+#define VPART_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpart {
+
+/// Splits `text` on `sep`, omitting empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Splits on arbitrary whitespace runs, omitting empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Parses a non-negative integer; returns false on any non-digit content.
+bool ParseInt(std::string_view text, int* out);
+
+/// Parses a double via strtod over the full token; returns false on garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vpart
+
+#endif  // VPART_UTIL_STRING_UTIL_H_

@@ -1,0 +1,137 @@
+#ifndef VPART_WORKLOAD_INSTANCE_H_
+#define VPART_WORKLOAD_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/schema.h"
+#include "workload/workload.h"
+
+namespace vpart {
+
+/// An immutable, validated vertical-partitioning problem instance: a schema,
+/// a workload and all the static constants the paper's cost model derives
+/// from them (α, β, γ, δ, φ, and the weights W_{a,q} = w_a·f_q·n_{r,q}).
+///
+/// Create one via `Instance::Create` (takes ownership and validates) or via
+/// `InstanceBuilder` (incremental construction with UPDATE splitting).
+class Instance {
+ public:
+  /// An empty instance; only useful as a placeholder to move into. All
+  /// meaningful instances come from Create().
+  Instance() = default;
+
+  /// Validates and finalizes: every attribute referenced by a query must
+  /// belong to a table listed in the query's `table_rows`.
+  static StatusOr<Instance> Create(std::string name, Schema schema,
+                                   Workload workload);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const Workload& workload() const { return workload_; }
+
+  int num_attributes() const { return schema_.num_attributes(); }
+  int num_queries() const { return workload_.num_queries(); }
+  int num_transactions() const { return workload_.num_transactions(); }
+
+  /// α_{a,q}: query q references attribute a itself.
+  bool alpha(int a, int q) const { return alpha_[Idx(a, q)] != 0; }
+  /// β_{a,q}: a belongs to a table that q accesses.
+  bool beta(int a, int q) const { return beta_[Idx(a, q)] != 0; }
+  /// δ_q: q is a write query.
+  bool is_write(int q) const { return workload_.query(q).is_write(); }
+  /// γ_{q,t}: q belongs to transaction t.
+  bool gamma(int q, int t) const {
+    return workload_.query(q).transaction_id == t;
+  }
+  /// φ_{a,t}: some read query of transaction t references attribute a.
+  bool phi(int a, int t) const {
+    return phi_[static_cast<size_t>(a) * num_transactions() + t] != 0;
+  }
+
+  /// W_{a,q} = w_a · f_q · n_{r(a),q}; zero when β_{a,q} = 0.
+  double W(int a, int q) const { return weight_[Idx(a, q)]; }
+
+  /// Attributes read by transaction t (the φ support of t), sorted.
+  const std::vector<int>& ReadSetOfTransaction(int t) const {
+    return read_set_[t];
+  }
+
+  /// Attributes of tables accessed by any query of t (β support over t's
+  /// queries), sorted. These are the only attributes with c1/c3 ≠ 0 for t.
+  const std::vector<int>& TouchedAttributesOfTransaction(int t) const {
+    return touched_[t];
+  }
+
+  /// Total workload frequency-weighted bytes of the widest possible row
+  /// layout; a scale reference for reports.
+  double TotalWeight() const { return total_weight_; }
+
+ private:
+  size_t Idx(int a, int q) const {
+    return static_cast<size_t>(a) * num_queries() + q;
+  }
+
+  Status BuildDerived();
+
+  std::string name_;
+  Schema schema_;
+  Workload workload_;
+
+  // Dense |A| x |Q| indicators and weights.
+  std::vector<uint8_t> alpha_;
+  std::vector<uint8_t> beta_;
+  std::vector<double> weight_;
+  // Dense |A| x |T| read indicator.
+  std::vector<uint8_t> phi_;
+  std::vector<std::vector<int>> read_set_;  // per transaction
+  std::vector<std::vector<int>> touched_;   // per transaction
+  double total_weight_ = 0.0;
+};
+
+/// Incremental construction helper with the paper's UPDATE modeling rule.
+class InstanceBuilder {
+ public:
+  explicit InstanceBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Schema construction; CHECK-fails (asserts) on structural misuse so that
+  /// hand-written instance definitions stay terse. Returns ids.
+  int AddTable(const std::string& name);
+  int AddAttribute(int table_id, const std::string& name, double width);
+  int AddTransaction(const std::string& name);
+
+  /// Adds a read or write query. `attributes` are referenced attribute ids;
+  /// `table_rows` lists (table, avg rows). Tables owning referenced
+  /// attributes that are missing from `table_rows` are auto-added with the
+  /// given `default_rows` (1 row unless overridden).
+  int AddQuery(int transaction_id, const std::string& name, QueryKind kind,
+               double frequency, std::vector<int> attributes,
+               std::vector<std::pair<int, double>> table_rows = {},
+               double default_rows = 1.0);
+
+  /// §5.2: models an SQL UPDATE as a read sub-query over all referenced
+  /// attributes plus a write sub-query over the written attributes.
+  /// Returns the pair (read query id, write query id).
+  std::pair<int, int> AddUpdateQuery(int transaction_id,
+                                     const std::string& name,
+                                     double frequency,
+                                     std::vector<int> read_attributes,
+                                     std::vector<int> written_attributes,
+                                     double rows = 1.0);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Validates and returns the finished instance.
+  StatusOr<Instance> Build();
+
+ private:
+  std::string name_;
+  Schema schema_;
+  Workload workload_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_WORKLOAD_INSTANCE_H_

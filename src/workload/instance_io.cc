@@ -1,0 +1,165 @@
+#include "workload/instance_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace vpart {
+
+std::string WriteInstanceText(const Instance& instance) {
+  std::ostringstream out;
+  const Schema& schema = instance.schema();
+  const Workload& workload = instance.workload();
+  out << "# vpart instance file\n";
+  out << "instance " << instance.name() << "\n";
+  for (const Table& table : schema.tables()) {
+    out << "table " << table.name << "\n";
+    for (int a : table.attribute_ids) {
+      out << "attr " << table.name << " " << schema.attribute(a).name << " "
+          << StrFormat("%.17g", schema.attribute(a).width) << "\n";
+    }
+  }
+  for (const Transaction& txn : workload.transactions()) {
+    out << "txn " << txn.name << "\n";
+    for (int q : txn.query_ids) {
+      const Query& query = workload.query(q);
+      out << "query " << txn.name << " " << query.name << " "
+          << (query.is_write() ? "write" : "read") << " "
+          << StrFormat("%.17g", query.frequency) << "\n";
+      for (const auto& [tbl, rows] : query.table_rows) {
+        out << "rows " << query.name << " " << schema.table(tbl).name << " "
+            << StrFormat("%.17g", rows) << "\n";
+      }
+      if (!query.attributes.empty()) {
+        out << "ref " << query.name;
+        for (int a : query.attributes) {
+          out << " " << schema.QualifiedName(a);
+        }
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+StatusOr<Instance> ParseInstanceText(const std::string& text) {
+  Schema schema;
+  Workload workload;
+  std::string name = "unnamed";
+
+  // Queries are appended to the workload only once fully specified, so we
+  // stage them here keyed by name.
+  struct PendingQuery {
+    int transaction_id = -1;
+    Query query;
+  };
+  std::vector<PendingQuery> pending;
+  std::unordered_map<std::string, int> pending_by_name;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> tok = SplitWhitespace(stripped);
+    const std::string& kind = tok[0];
+    auto fail = [&](const std::string& message) {
+      return InvalidArgumentError(
+          StrFormat("line %d: %s", line_no, message.c_str()));
+    };
+
+    if (kind == "instance") {
+      if (tok.size() != 2) return fail("expected: instance <name>");
+      name = tok[1];
+    } else if (kind == "table") {
+      if (tok.size() != 2) return fail("expected: table <name>");
+      auto result = schema.AddTable(tok[1]);
+      if (!result.ok()) return fail(result.status().message());
+    } else if (kind == "attr") {
+      if (tok.size() != 4) return fail("expected: attr <table> <name> <width>");
+      auto table = schema.FindTable(tok[1]);
+      if (!table.ok()) return fail(table.status().message());
+      double width = 0;
+      if (!ParseDouble(tok[3], &width)) return fail("bad width: " + tok[3]);
+      auto result = schema.AddAttribute(table.value(), tok[2], width);
+      if (!result.ok()) return fail(result.status().message());
+    } else if (kind == "txn") {
+      if (tok.size() != 2) return fail("expected: txn <name>");
+      auto result = workload.AddTransaction(tok[1]);
+      if (!result.ok()) return fail(result.status().message());
+    } else if (kind == "query") {
+      if (tok.size() != 5) {
+        return fail("expected: query <txn> <name> <read|write> <freq>");
+      }
+      auto txn = workload.FindTransaction(tok[1]);
+      if (!txn.ok()) return fail(txn.status().message());
+      if (pending_by_name.count(tok[2]) > 0) {
+        return fail("duplicate query name: " + tok[2]);
+      }
+      PendingQuery pq;
+      pq.transaction_id = txn.value();
+      pq.query.name = tok[2];
+      if (tok[3] == "read") {
+        pq.query.kind = QueryKind::kRead;
+      } else if (tok[3] == "write") {
+        pq.query.kind = QueryKind::kWrite;
+      } else {
+        return fail("query kind must be read or write, got " + tok[3]);
+      }
+      if (!ParseDouble(tok[4], &pq.query.frequency)) {
+        return fail("bad frequency: " + tok[4]);
+      }
+      pending_by_name[tok[2]] = static_cast<int>(pending.size());
+      pending.push_back(std::move(pq));
+    } else if (kind == "rows") {
+      if (tok.size() != 4) return fail("expected: rows <query> <table> <n>");
+      auto it = pending_by_name.find(tok[1]);
+      if (it == pending_by_name.end()) return fail("unknown query: " + tok[1]);
+      auto table = schema.FindTable(tok[2]);
+      if (!table.ok()) return fail(table.status().message());
+      double rows = 0;
+      if (!ParseDouble(tok[3], &rows)) return fail("bad rows: " + tok[3]);
+      pending[it->second].query.table_rows.emplace_back(table.value(), rows);
+    } else if (kind == "ref") {
+      if (tok.size() < 3) return fail("expected: ref <query> <attr>...");
+      auto it = pending_by_name.find(tok[1]);
+      if (it == pending_by_name.end()) return fail("unknown query: " + tok[1]);
+      for (size_t i = 2; i < tok.size(); ++i) {
+        auto attr = schema.FindAttribute(tok[i]);
+        if (!attr.ok()) return fail(attr.status().message());
+        pending[it->second].query.attributes.push_back(attr.value());
+      }
+    } else {
+      return fail("unknown directive: " + kind);
+    }
+  }
+
+  for (auto& pq : pending) {
+    auto result = workload.AddQuery(pq.transaction_id, std::move(pq.query));
+    if (!result.ok()) return result.status();
+  }
+  return Instance::Create(std::move(name), std::move(schema),
+                          std::move(workload));
+}
+
+Status WriteInstanceFile(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  out << WriteInstanceText(instance);
+  if (!out) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Instance> ReadInstanceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseInstanceText(buffer.str());
+}
+
+}  // namespace vpart

@@ -1,0 +1,33 @@
+#ifndef VPART_WORKLOAD_INSTANCE_IO_H_
+#define VPART_WORKLOAD_INSTANCE_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// Serializes an instance to the textual `.vpi` format:
+///
+///   instance <name>
+///   table <table>
+///   attr <table> <attribute> <width>
+///   txn <transaction>
+///   query <transaction> <query> <read|write> <frequency>
+///   rows <query> <table> <avg-rows>
+///   ref <query> <table>.<attribute> ...
+///
+/// Lines beginning with '#' and blank lines are ignored by the parser.
+std::string WriteInstanceText(const Instance& instance);
+
+/// Parses the `.vpi` format produced by WriteInstanceText.
+StatusOr<Instance> ParseInstanceText(const std::string& text);
+
+/// File variants.
+Status WriteInstanceFile(const Instance& instance, const std::string& path);
+StatusOr<Instance> ReadInstanceFile(const std::string& path);
+
+}  // namespace vpart
+
+#endif  // VPART_WORKLOAD_INSTANCE_IO_H_

@@ -1,0 +1,65 @@
+#ifndef VPART_WORKLOAD_SCHEMA_H_
+#define VPART_WORKLOAD_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vpart {
+
+/// A column of a table. `width` is the average width in bytes (the paper's
+/// w_a); identifiers are dense indices into Schema's vectors.
+struct Attribute {
+  int id = -1;
+  int table_id = -1;
+  std::string name;    // attribute name within its table, e.g. "C_BALANCE"
+  double width = 0.0;  // average width in bytes (w_a)
+};
+
+/// A relational table: a named set of attributes.
+struct Table {
+  int id = -1;
+  std::string name;
+  std::vector<int> attribute_ids;  // in declaration order
+};
+
+/// A relational schema: tables and their attributes, with name lookup.
+/// Attribute ids are global across the schema (the paper's set A).
+class Schema {
+ public:
+  /// Adds a table; returns its id. Fails on duplicate names.
+  StatusOr<int> AddTable(const std::string& name);
+
+  /// Adds an attribute to `table_id`; returns its global id.
+  StatusOr<int> AddAttribute(int table_id, const std::string& name,
+                             double width);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  const Table& table(int id) const { return tables_[id]; }
+  const Attribute& attribute(int id) const { return attributes_[id]; }
+  const std::vector<Table>& tables() const { return tables_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Table id by name, or error.
+  StatusOr<int> FindTable(const std::string& name) const;
+
+  /// Attribute id by "Table.Attribute" qualified name, or error.
+  StatusOr<int> FindAttribute(const std::string& qualified_name) const;
+
+  /// "Table.Attribute" display name for an attribute id.
+  std::string QualifiedName(int attribute_id) const;
+
+ private:
+  std::vector<Table> tables_;
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, int> table_by_name_;
+  std::unordered_map<std::string, int> attribute_by_qualified_name_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_WORKLOAD_SCHEMA_H_

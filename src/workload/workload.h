@@ -1,0 +1,84 @@
+#ifndef VPART_WORKLOAD_WORKLOAD_H_
+#define VPART_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/schema.h"
+
+namespace vpart {
+
+/// Read vs. write classification of a query (the paper's δ_q). Following
+/// §5.2, SQL UPDATE statements should be modeled as two sub-queries: a read
+/// query over every referenced attribute and a write query over the written
+/// attributes only; `InstanceBuilder::AddUpdateQuery` automates this.
+enum class QueryKind { kRead, kWrite };
+
+/// One query of the workload, described by its statistical footprint:
+/// which attributes it references (α), which tables it accesses (β via the
+/// table's attributes), its frequency f_q, and the average number of rows
+/// n_{r,q} it touches in each accessed table.
+struct Query {
+  int id = -1;
+  int transaction_id = -1;
+  std::string name;
+  QueryKind kind = QueryKind::kRead;
+  double frequency = 1.0;
+
+  /// Referenced attribute ids (the paper's α_{a,q} support), deduplicated.
+  std::vector<int> attributes;
+
+  /// Per accessed table: (table id, average rows retrieved/written).
+  /// Every table owning a referenced attribute must appear here; tables may
+  /// also appear with no referenced attribute (e.g. COUNT(*) style access).
+  std::vector<std::pair<int, double>> table_rows;
+
+  bool is_write() const { return kind == QueryKind::kWrite; }
+
+  /// Rows accessed in `table_id`, or 0 if the table is not accessed.
+  double RowsInTable(int table_id) const;
+};
+
+/// A transaction: an ordered group of queries executed at one primary site.
+struct Transaction {
+  int id = -1;
+  std::string name;
+  std::vector<int> query_ids;
+};
+
+/// The workload: all transactions and their queries (the paper's T and Q).
+class Workload {
+ public:
+  /// Adds a transaction; returns its id. Fails on duplicate names.
+  StatusOr<int> AddTransaction(const std::string& name);
+
+  /// Adds a fully-specified query to a transaction; returns the query id.
+  /// Attribute lists are deduplicated; table_rows must cover every table
+  /// that owns a referenced attribute (validated by Instance::Create).
+  StatusOr<int> AddQuery(int transaction_id, Query query);
+
+  int num_transactions() const {
+    return static_cast<int>(transactions_.size());
+  }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  const Transaction& transaction(int id) const { return transactions_[id]; }
+  const Query& query(int id) const { return queries_[id]; }
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  const std::vector<Query>& queries() const { return queries_; }
+
+  StatusOr<int> FindTransaction(const std::string& name) const;
+
+ private:
+  std::vector<Transaction> transactions_;
+  std::vector<Query> queries_;
+  std::unordered_map<std::string, int> transaction_by_name_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_WORKLOAD_WORKLOAD_H_

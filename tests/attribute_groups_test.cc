@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "instances/random_instance.h"
+#include "instances/tpcc.h"
+#include "solver/attribute_groups.h"
+#include "solver/exhaustive_solver.h"
+#include "solver/sa_solver.h"
+#include "util/rng.h"
+
+namespace vpart {
+namespace {
+
+TEST(AttributeGroupsTest, GroupsBySignature) {
+  // q reads {a0, a1}; a2 and a3 are never referenced -> a0,a1 form one
+  // group (same table, same signature) and a2,a3 another.
+  InstanceBuilder builder("g");
+  int r = builder.AddTable("R");
+  int a0 = builder.AddAttribute(r, "a0", 4);
+  int a1 = builder.AddAttribute(r, "a1", 8);
+  int a2 = builder.AddAttribute(r, "a2", 2);
+  int a3 = builder.AddAttribute(r, "a3", 2);
+  int t = builder.AddTransaction("T");
+  builder.AddQuery(t, "q", QueryKind::kRead, 1.0, {a0, a1}, {{r, 1.0}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+
+  auto grouping = BuildAttributeGrouping(instance.value());
+  ASSERT_TRUE(grouping.ok()) << grouping.status();
+  EXPECT_EQ(grouping->num_groups(), 2);
+  EXPECT_EQ(grouping->group_of_attribute[a0],
+            grouping->group_of_attribute[a1]);
+  EXPECT_EQ(grouping->group_of_attribute[a2],
+            grouping->group_of_attribute[a3]);
+  EXPECT_NE(grouping->group_of_attribute[a0],
+            grouping->group_of_attribute[a2]);
+  // Widths aggregate: group of {a0,a1} has width 12.
+  const int g01 = grouping->group_of_attribute[a0];
+  EXPECT_DOUBLE_EQ(grouping->reduced.schema().attribute(g01).width, 12);
+}
+
+TEST(AttributeGroupsTest, DifferentTablesNeverMerge) {
+  InstanceBuilder builder("g2");
+  int r = builder.AddTable("R");
+  int s = builder.AddTable("S");
+  int a0 = builder.AddAttribute(r, "a", 4);
+  int a1 = builder.AddAttribute(s, "a", 4);
+  int t = builder.AddTransaction("T");
+  // Both unreferenced but in different tables.
+  builder.AddQuery(t, "q", QueryKind::kRead, 1.0, {}, {{r, 1.0}, {s, 1.0}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+  auto grouping = BuildAttributeGrouping(instance.value());
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_NE(grouping->group_of_attribute[a0],
+            grouping->group_of_attribute[a1]);
+}
+
+TEST(AttributeGroupsTest, TpccReducesSubstantially) {
+  Instance instance = MakeTpccInstance();
+  auto grouping = BuildAttributeGrouping(instance);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_LT(grouping->num_groups(), 60);  // 92 attributes shrink well
+  EXPECT_GE(grouping->num_groups(), 20);
+}
+
+// Exactness: for any partitioning of the reduced instance, the expanded
+// partitioning has identical objective (4), loads and scalarized objective
+// on the original instance.
+TEST(AttributeGroupsTest, ReductionPreservesObjectives) {
+  Rng rng(5);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomInstanceParams params;
+    params.num_transactions = 8;
+    params.num_tables = 4;
+    params.update_percent = 30;
+    params.seed = 400 + seed;
+    Instance instance = MakeRandomInstance(params);
+    auto grouping = BuildAttributeGrouping(instance);
+    ASSERT_TRUE(grouping.ok());
+
+    CostParams cost_params{.p = 8, .lambda = 0.1};
+    CostModel original(&instance, cost_params);
+    CostModel reduced(&grouping->reduced, cost_params);
+
+    const int sites = 2 + seed % 2;
+    Partitioning rp(grouping->reduced.num_transactions(),
+                    grouping->reduced.num_attributes(), sites);
+    for (int t = 0; t < rp.num_transactions(); ++t) {
+      rp.AssignTransaction(t, static_cast<int>(rng.NextBounded(sites)));
+    }
+    ASSERT_TRUE(ComputeOptimalY(reduced, rp));
+
+    Partitioning expanded = grouping->ExpandPartitioning(rp);
+    ASSERT_TRUE(ValidatePartitioning(instance, expanded).ok());
+    EXPECT_NEAR(original.Objective(expanded), reduced.Objective(rp),
+                1e-9 * (1 + std::abs(reduced.Objective(rp))));
+    EXPECT_NEAR(original.MaxLoad(expanded), reduced.MaxLoad(rp),
+                1e-9 * (1 + reduced.MaxLoad(rp)));
+    EXPECT_NEAR(original.ScalarizedObjective(expanded),
+                reduced.ScalarizedObjective(rp), 1e-6);
+  }
+}
+
+// Optimality transfer: solving the reduced instance exactly yields the same
+// optimal cost as solving the original exactly.
+TEST(AttributeGroupsTest, ReducedOptimumEqualsOriginalOptimum) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    RandomInstanceParams params;
+    params.num_transactions = 5;
+    params.num_tables = 3;
+    params.max_attributes_per_table = 6;
+    params.update_percent = 20;
+    params.seed = 500 + seed;
+    Instance instance = MakeRandomInstance(params);
+    auto grouping = BuildAttributeGrouping(instance);
+    ASSERT_TRUE(grouping.ok());
+
+    CostParams cost_params{.p = 8, .lambda = 0.0};
+    CostModel original(&instance, cost_params);
+    CostModel reduced(&grouping->reduced, cost_params);
+    ExhaustiveOptions ex;
+    ex.num_sites = 2;
+    ExhaustiveResult a = SolveExhaustively(original, ex);
+    ExhaustiveResult b = SolveExhaustively(reduced, ex);
+    ASSERT_TRUE(a.exact && b.exact);
+    EXPECT_NEAR(a.cost, b.cost, 1e-6 * (1 + a.cost)) << "seed " << seed;
+    // And the expanded reduced solution evaluates to the same cost.
+    Partitioning expanded = grouping->ExpandPartitioning(*b.partitioning);
+    EXPECT_NEAR(original.Objective(expanded), b.cost, 1e-6 * (1 + b.cost));
+  }
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "instances/random_instance.h"
+#include "instances/tpcc.h"
+#include "solver/advisor.h"
+#include "solver/incremental_solver.h"
+
+namespace vpart {
+namespace {
+
+TEST(RankTransactionsTest, HeaviestFirst) {
+  InstanceBuilder builder("rank");
+  int r = builder.AddTable("R");
+  int x = builder.AddAttribute(r, "x", 8);
+  int light = builder.AddTransaction("light");
+  int heavy = builder.AddTransaction("heavy");
+  builder.AddQuery(light, "ql", QueryKind::kRead, 1.0, {x}, {{r, 1.0}});
+  builder.AddQuery(heavy, "qh", QueryKind::kRead, 50.0, {x}, {{r, 1.0}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+  std::vector<int> order = RankTransactionsByWeight(instance.value());
+  EXPECT_EQ(order[0], heavy);
+  EXPECT_EQ(order[1], light);
+}
+
+TEST(IncrementalSolverTest, ProducesFeasibleSolutions) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RandomInstanceParams params;
+    params.num_transactions = 15;
+    params.num_tables = 6;
+    params.update_percent = 20;
+    params.seed = 600 + seed;
+    Instance instance = MakeRandomInstance(params);
+    CostModel model(&instance, {.p = 8, .lambda = 0.1});
+    IncrementalOptions options;
+    options.sa.seed = seed;
+    options.sa.inner_iterations = 10;
+    options.sa.stale_rounds_limit = 3;
+    SaResult result = SolveIncrementally(model, 3, options);
+    EXPECT_TRUE(ValidatePartitioning(instance, result.partitioning).ok())
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(result.cost, model.Objective(result.partitioning));
+  }
+}
+
+TEST(IncrementalSolverTest, ComparableToPlainSa) {
+  Instance instance = MakeTpccInstance();
+  CostModel model(&instance, {.p = 8, .lambda = 0.1});
+  IncrementalOptions options;
+  options.sa.seed = 4;
+  SaResult incremental = SolveIncrementally(model, 2, options);
+  SaOptions sa;
+  sa.seed = 4;
+  SaResult plain = SolveWithSa(model, 2, sa);
+  // Both heuristics must land in the same ballpark (within 2x).
+  EXPECT_LT(incremental.cost, plain.cost * 2 + 1e-9);
+  EXPECT_LT(plain.cost, incremental.cost * 2 + 1e-9);
+}
+
+TEST(AdvisorTest, TpccReductionMatchesPaperBallpark) {
+  // The paper's headline: ~37% cost reduction on TPC-C with 2-3 sites.
+  Instance instance = MakeTpccInstance();
+  AdvisorOptions options;
+  options.num_sites = 3;
+  options.cost = {.p = 8, .lambda = 0.1};
+  options.seed = 1;
+  auto result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePartitioning(instance, result->partitioning).ok());
+  EXPECT_GT(result->reduction_percent, 20);
+  EXPECT_LT(result->reduction_percent, 60);
+  EXPECT_GT(result->single_site_cost, 0);
+}
+
+TEST(AdvisorTest, AlgorithmSelectionAuto) {
+  Instance instance = MakeTpccInstance();  // |T| = 5 -> exhaustive
+  AdvisorOptions options;
+  options.num_sites = 2;
+  auto result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->algorithm_used.find("exhaustive"), std::string::npos);
+  EXPECT_NE(result->algorithm_used.find("groups"), std::string::npos);
+}
+
+TEST(AdvisorTest, LargeInstanceFallsBackToSa) {
+  RandomInstanceParams params;
+  params.num_transactions = 60;
+  params.num_tables = 30;
+  params.seed = 8;
+  Instance instance = MakeRandomInstance(params);
+  AdvisorOptions options;
+  options.num_sites = 2;
+  options.time_limit_seconds = 3;
+  auto result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->algorithm_used.find("sa"), std::string::npos);
+}
+
+TEST(AdvisorTest, ExplicitAlgorithmsAllWork) {
+  RandomInstanceParams params;
+  params.num_transactions = 6;
+  params.num_tables = 4;
+  params.seed = 9;
+  Instance instance = MakeRandomInstance(params);
+  for (auto algorithm :
+       {AdvisorOptions::Algorithm::kExhaustive, AdvisorOptions::Algorithm::kSa,
+        AdvisorOptions::Algorithm::kIlp,
+        AdvisorOptions::Algorithm::kIncremental}) {
+    AdvisorOptions options;
+    options.num_sites = 2;
+    options.algorithm = algorithm;
+    options.time_limit_seconds = 10;
+    auto result = AdvisePartitioning(instance, options);
+    ASSERT_TRUE(result.ok()) << static_cast<int>(algorithm);
+    EXPECT_TRUE(ValidatePartitioning(instance, result->partitioning).ok());
+  }
+}
+
+TEST(AdvisorTest, DisjointModeRespected) {
+  Instance instance = MakeTpccInstance();
+  AdvisorOptions options;
+  options.num_sites = 2;
+  options.allow_replication = false;
+  auto result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      ValidatePartitioning(instance, result->partitioning, true).ok());
+}
+
+TEST(AdvisorTest, RejectsBadSiteCount) {
+  Instance instance = MakeTpccInstance();
+  AdvisorOptions options;
+  options.num_sites = 0;
+  EXPECT_FALSE(AdvisePartitioning(instance, options).ok());
+}
+
+TEST(AdvisorTest, SingleSiteReductionIsZero) {
+  Instance instance = MakeTpccInstance();
+  AdvisorOptions options;
+  options.num_sites = 1;
+  auto result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->reduction_percent, 0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "cost/partitioning.h"
+#include "workload/instance.h"
+
+namespace vpart {
+namespace {
+
+Instance TinyInstance() {
+  InstanceBuilder builder("tiny");
+  int r = builder.AddTable("R");
+  int x = builder.AddAttribute(r, "x", 4);
+  int y = builder.AddAttribute(r, "y", 8);
+  (void)y;
+  int t = builder.AddTransaction("T");
+  builder.AddQuery(t, "q", QueryKind::kRead, 1.0, {x}, {{r, 1.0}});
+  auto instance = builder.Build();
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance.value());
+}
+
+TEST(PartitioningTest, BasicAccessors) {
+  Partitioning p(2, 3, 2);
+  EXPECT_EQ(p.num_transactions(), 2);
+  EXPECT_EQ(p.num_attributes(), 3);
+  EXPECT_EQ(p.num_sites(), 2);
+  EXPECT_EQ(p.SiteOfTransaction(0), -1);
+
+  p.AssignTransaction(0, 1);
+  EXPECT_EQ(p.SiteOfTransaction(0), 1);
+
+  p.PlaceAttribute(2, 0);
+  p.PlaceAttribute(2, 1);
+  EXPECT_TRUE(p.HasAttribute(2, 0));
+  EXPECT_EQ(p.ReplicaCount(2), 2);
+  EXPECT_EQ(p.SitesOfAttribute(2), (std::vector<int>{0, 1}));
+  p.RemoveAttribute(2, 0);
+  EXPECT_EQ(p.ReplicaCount(2), 1);
+  p.ClearAttribute(2);
+  EXPECT_EQ(p.ReplicaCount(2), 0);
+}
+
+TEST(PartitioningTest, SiteInventories) {
+  Partitioning p(3, 2, 2);
+  p.AssignTransaction(0, 0);
+  p.AssignTransaction(1, 1);
+  p.AssignTransaction(2, 0);
+  p.PlaceAttribute(0, 0);
+  p.PlaceAttribute(1, 1);
+  EXPECT_EQ(p.TransactionsOnSite(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(p.TransactionsOnSite(1), (std::vector<int>{1}));
+  EXPECT_EQ(p.AttributesOnSite(0), (std::vector<int>{0}));
+  EXPECT_EQ(p.AttributesOnSite(1), (std::vector<int>{1}));
+}
+
+TEST(ValidatePartitioningTest, AcceptsFeasible) {
+  Instance instance = TinyInstance();
+  Partitioning p(1, 2, 2);
+  p.AssignTransaction(0, 1);
+  p.PlaceAttribute(0, 1);  // x co-located with T
+  p.PlaceAttribute(1, 0);
+  EXPECT_TRUE(ValidatePartitioning(instance, p).ok());
+}
+
+TEST(ValidatePartitioningTest, RejectsUnassignedTransaction) {
+  Instance instance = TinyInstance();
+  Partitioning p(1, 2, 2);
+  p.PlaceAttribute(0, 0);
+  p.PlaceAttribute(1, 0);
+  EXPECT_EQ(ValidatePartitioning(instance, p).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(ValidatePartitioningTest, RejectsUnplacedAttribute) {
+  Instance instance = TinyInstance();
+  Partitioning p(1, 2, 2);
+  p.AssignTransaction(0, 0);
+  p.PlaceAttribute(0, 0);
+  EXPECT_EQ(ValidatePartitioning(instance, p).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(ValidatePartitioningTest, RejectsBrokenSingleSitedness) {
+  Instance instance = TinyInstance();
+  Partitioning p(1, 2, 2);
+  p.AssignTransaction(0, 0);
+  p.PlaceAttribute(0, 1);  // read attribute on the other site
+  p.PlaceAttribute(1, 0);
+  EXPECT_EQ(ValidatePartitioning(instance, p).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(ValidatePartitioningTest, DisjointModeRejectsReplicas) {
+  Instance instance = TinyInstance();
+  Partitioning p(1, 2, 2);
+  p.AssignTransaction(0, 0);
+  p.PlaceAttribute(0, 0);
+  p.PlaceAttribute(0, 1);
+  p.PlaceAttribute(1, 0);
+  EXPECT_TRUE(ValidatePartitioning(instance, p, false).ok());
+  EXPECT_EQ(ValidatePartitioning(instance, p, true).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(ValidatePartitioningTest, RejectsDimensionMismatch) {
+  Instance instance = TinyInstance();
+  Partitioning p(5, 2, 2);
+  EXPECT_EQ(ValidatePartitioning(instance, p).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SingleSiteBaselineTest, IsAlwaysFeasible) {
+  Instance instance = TinyInstance();
+  for (int sites = 1; sites <= 3; ++sites) {
+    Partitioning p = SingleSiteBaseline(instance, sites);
+    EXPECT_TRUE(ValidatePartitioning(instance, p).ok()) << sites;
+    EXPECT_TRUE(ValidatePartitioning(instance, p, true).ok()) << sites;
+  }
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "instances/random_instance.h"
+#include "workload/instance_io.h"
+
+namespace vpart {
+namespace {
+
+TEST(RandomInstanceTest, RespectsParameterBounds) {
+  RandomInstanceParams params;
+  params.num_transactions = 12;
+  params.num_tables = 6;
+  params.max_queries_per_transaction = 4;
+  params.max_attributes_per_table = 7;
+  params.max_table_refs_per_query = 3;
+  params.max_attribute_refs_per_query = 5;
+  params.allowed_widths = {2, 4};
+  params.seed = 42;
+  Instance instance = MakeRandomInstance(params);
+
+  EXPECT_EQ(instance.num_transactions(), 12);
+  EXPECT_EQ(instance.schema().num_tables(), 6);
+  for (const Table& table : instance.schema().tables()) {
+    EXPECT_GE(table.attribute_ids.size(), 1u);
+    EXPECT_LE(table.attribute_ids.size(), 7u);
+  }
+  for (const Attribute& attr : instance.schema().attributes()) {
+    EXPECT_TRUE(attr.width == 2 || attr.width == 4);
+  }
+  for (const Transaction& txn : instance.workload().transactions()) {
+    EXPECT_GE(txn.query_ids.size(), 1u);
+    EXPECT_LE(txn.query_ids.size(), 4u);
+  }
+  for (const Query& query : instance.workload().queries()) {
+    EXPECT_GE(query.table_rows.size(), 1u);
+    EXPECT_LE(query.table_rows.size(), 3u);
+    EXPECT_LE(query.attributes.size(), 5u);
+  }
+}
+
+TEST(RandomInstanceTest, DeterministicForSeed) {
+  RandomInstanceParams params;
+  params.seed = 77;
+  Instance a = MakeRandomInstance(params);
+  Instance b = MakeRandomInstance(params);
+  EXPECT_EQ(WriteInstanceText(a), WriteInstanceText(b));
+}
+
+TEST(RandomInstanceTest, SeedsChangeTheInstance) {
+  RandomInstanceParams params;
+  params.seed = 1;
+  Instance a = MakeRandomInstance(params);
+  params.seed = 2;
+  Instance b = MakeRandomInstance(params);
+  EXPECT_NE(WriteInstanceText(a), WriteInstanceText(b));
+}
+
+TEST(RandomInstanceTest, UpdatePercentZeroMeansNoWrites) {
+  RandomInstanceParams params;
+  params.update_percent = 0;
+  params.seed = 3;
+  Instance instance = MakeRandomInstance(params);
+  for (const Query& query : instance.workload().queries()) {
+    EXPECT_FALSE(query.is_write());
+  }
+}
+
+TEST(RandomInstanceTest, UpdatePercentHundredMeansAllWrites) {
+  RandomInstanceParams params;
+  params.update_percent = 100;
+  params.seed = 3;
+  Instance instance = MakeRandomInstance(params);
+  for (const Query& query : instance.workload().queries()) {
+    EXPECT_TRUE(query.is_write());
+  }
+}
+
+TEST(ParseNamedInstanceTest, ClassAParameters) {
+  auto params = ParseNamedInstanceParams("rndAt8x15");
+  ASSERT_TRUE(params.ok()) << params.status();
+  EXPECT_EQ(params->num_tables, 8);
+  EXPECT_EQ(params->num_transactions, 15);
+  EXPECT_EQ(params->max_attributes_per_table, 30);   // C
+  EXPECT_EQ(params->max_table_refs_per_query, 3);    // D
+  EXPECT_EQ(params->max_attribute_refs_per_query, 8);  // E
+  EXPECT_DOUBLE_EQ(params->update_percent, 10);
+  EXPECT_EQ(params->allowed_widths, (std::vector<double>{2, 4, 8, 16}));
+}
+
+TEST(ParseNamedInstanceTest, ClassBParameters) {
+  auto params = ParseNamedInstanceParams("rndBt16x100");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->num_tables, 16);
+  EXPECT_EQ(params->num_transactions, 100);
+  EXPECT_EQ(params->max_attributes_per_table, 5);
+  EXPECT_EQ(params->max_table_refs_per_query, 6);
+  EXPECT_EQ(params->max_attribute_refs_per_query, 28);
+}
+
+TEST(ParseNamedInstanceTest, UpdateOverride) {
+  auto params = ParseNamedInstanceParams("rndAt8x15u50");
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(params->update_percent, 50);
+  EXPECT_EQ(params->num_transactions, 15);
+}
+
+TEST(ParseNamedInstanceTest, RejectsMalformedNames) {
+  EXPECT_FALSE(ParseNamedInstanceParams("foo").ok());
+  EXPECT_FALSE(ParseNamedInstanceParams("rndC4x15").ok());
+  EXPECT_FALSE(ParseNamedInstanceParams("rndAt").ok());
+  EXPECT_FALSE(ParseNamedInstanceParams("rndAtx15").ok());
+  EXPECT_FALSE(ParseNamedInstanceParams("rndAt8x").ok());
+  EXPECT_FALSE(ParseNamedInstanceParams("rndAt8x15u999").ok());
+}
+
+TEST(ParseNamedInstanceTest, DistinctNamesGetDistinctSeeds) {
+  auto a = ParseNamedInstanceParams("rndAt8x15");
+  auto b = ParseNamedInstanceParams("rndAt16x15");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->seed, b->seed);
+}
+
+TEST(ParseNamedInstanceTest, NamedInstancesAreReproducible) {
+  auto a = MakeNamedRandomInstance("rndBt8x15");
+  auto b = MakeNamedRandomInstance("rndBt8x15");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(WriteInstanceText(a.value()), WriteInstanceText(b.value()));
+}
+
+TEST(Table1DefaultsTest, MatchesPaperDefaults) {
+  RandomInstanceParams params = Table1DefaultParams(20, 9);
+  EXPECT_EQ(params.num_transactions, 20);
+  EXPECT_EQ(params.num_tables, 20);
+  EXPECT_EQ(params.max_queries_per_transaction, 3);
+  EXPECT_DOUBLE_EQ(params.update_percent, 10);
+  EXPECT_EQ(params.max_attributes_per_table, 15);
+  EXPECT_EQ(params.max_table_refs_per_query, 5);
+  EXPECT_EQ(params.max_attribute_refs_per_query, 15);
+  EXPECT_EQ(params.allowed_widths, (std::vector<double>{4, 8}));
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instances/tpcc.h"
+#include "report/partition_report.h"
+#include "report/table_printer.h"
+
+namespace vpart {
+namespace {
+
+TEST(TablePrinterTest, AlignsAndFramesCells) {
+  TablePrinter table({"name", "cost"});
+  table.AddRow({"tpcc", "0.133"});
+  table.AddRow({"longer-name", "12.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("0.133"), std::string::npos);
+  // Frame lines present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorInsertsRule) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // header rule + top + separator + bottom = at least 4 rules.
+  int rules = 0;
+  for (size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_NE(table.ToString().find("| x "), std::string::npos);
+}
+
+TEST(FormatCostTest, PaperStyle) {
+  EXPECT_EQ(FormatCost(1567000, 1e6), "1.567");
+  EXPECT_EQ(FormatCost(std::nan(""), 1e6), "-");
+  EXPECT_EQ(FormatCostCell(true, false, 133000, 1e6), "0.133");
+  EXPECT_EQ(FormatCostCell(true, true, 332000, 1e6), "(0.332)");
+  EXPECT_EQ(FormatCostCell(false, true, 0, 1e6), "t/o");
+}
+
+TEST(PartitionReportTest, Table4StyleListing) {
+  Instance instance = MakeTpccInstance();
+  Partitioning p = SingleSiteBaseline(instance, 2);
+  const std::string out = RenderPartitionTable(instance, p);
+  EXPECT_NE(out.find("=== Site 1 ==="), std::string::npos);
+  EXPECT_NE(out.find("=== Site 2 ==="), std::string::npos);
+  EXPECT_NE(out.find("Transaction NewOrder"), std::string::npos);
+  EXPECT_NE(out.find("Customer.C_BALANCE"), std::string::npos);
+  // All 92 attributes listed once (site 1 holds everything).
+  int count = 0;
+  for (size_t pos = 0; (pos = out.find("\n  ", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 92);
+}
+
+TEST(PartitionReportTest, SummaryContainsCoreNumbers) {
+  Instance instance = MakeTpccInstance();
+  CostModel model(&instance, {.p = 8, .lambda = 0.1});
+  Partitioning p = SingleSiteBaseline(instance, 1);
+  const std::string out = RenderPartitionSummary(model, p);
+  EXPECT_NE(out.find("objective(4)"), std::string::npos);
+  EXPECT_NE(out.find("objective(6)"), std::string::npos);
+  EXPECT_NE(out.find("site 1:"), std::string::npos);
+  EXPECT_NE(out.find("attributes replicated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cost/cost_model.h"
+#include "instances/tpcc.h"
+
+namespace vpart {
+namespace {
+
+class TpccFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { instance_ = MakeTpccInstance(); }
+  Instance instance_;
+};
+
+TEST_F(TpccFixture, MatchesPaperDimensions) {
+  // Table 3 reports |A| = 92 and |T| = 5 for TPC-C v5.
+  EXPECT_EQ(instance_.num_attributes(), 92);
+  EXPECT_EQ(instance_.num_transactions(), 5);
+  EXPECT_EQ(instance_.schema().num_tables(), 9);
+}
+
+TEST_F(TpccFixture, TableCardinalitiesMatchSpec) {
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"Warehouse", 9}, {"District", 11}, {"Customer", 21}, {"History", 8},
+      {"NewOrder", 3},  {"Order", 8},     {"OrderLine", 10}, {"Item", 5},
+      {"Stock", 17}};
+  for (const auto& [name, count] : expected) {
+    auto table = instance_.schema().FindTable(name);
+    ASSERT_TRUE(table.ok()) << name;
+    EXPECT_EQ(static_cast<int>(
+                  instance_.schema().table(table.value()).attribute_ids.size()),
+              count)
+        << name;
+  }
+}
+
+TEST_F(TpccFixture, TransactionNames) {
+  std::set<std::string> names;
+  for (const auto& txn : instance_.workload().transactions()) {
+    names.insert(txn.name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"NewOrder", "Payment",
+                                          "OrderStatus", "Delivery",
+                                          "StockLevel"}));
+}
+
+TEST_F(TpccFixture, AllQueriesRunWithEqualFrequency) {
+  for (const auto& query : instance_.workload().queries()) {
+    EXPECT_DOUBLE_EQ(query.frequency, 1.0) << query.name;
+  }
+}
+
+TEST_F(TpccFixture, RowCountsAreOneOrTen) {
+  for (const auto& query : instance_.workload().queries()) {
+    for (const auto& [tbl, rows] : query.table_rows) {
+      (void)tbl;
+      EXPECT_TRUE(rows == 1.0 || rows == 10.0)
+          << query.name << " rows " << rows;
+    }
+  }
+}
+
+TEST_F(TpccFixture, UpdatesAreSplitIntoReadAndWriteParts) {
+  // Every ".w" write query has a ".r" read sibling in the same transaction
+  // whose reference set is a superset.
+  const Workload& workload = instance_.workload();
+  int update_pairs = 0;
+  for (const auto& query : workload.queries()) {
+    if (query.name.size() < 2 ||
+        query.name.substr(query.name.size() - 2) != ".w") {
+      continue;
+    }
+    ++update_pairs;
+    const std::string read_name =
+        query.name.substr(0, query.name.size() - 2) + ".r";
+    const Query* read_part = nullptr;
+    for (int q : workload.transaction(query.transaction_id).query_ids) {
+      if (workload.query(q).name == read_name) read_part = &workload.query(q);
+    }
+    ASSERT_NE(read_part, nullptr) << query.name;
+    EXPECT_FALSE(read_part->is_write());
+    EXPECT_TRUE(query.is_write());
+    std::set<int> read_refs(read_part->attributes.begin(),
+                            read_part->attributes.end());
+    for (int a : query.attributes) {
+      EXPECT_TRUE(read_refs.count(a)) << query.name << " attr " << a;
+    }
+  }
+  // New-Order 2, Payment 3, Delivery 3 = 8 update statements modeled.
+  EXPECT_EQ(update_pairs, 8);
+}
+
+TEST_F(TpccFixture, StockLevelOnlyReads) {
+  auto t = instance_.workload().FindTransaction("StockLevel");
+  ASSERT_TRUE(t.ok());
+  for (int q : instance_.workload().transaction(t.value()).query_ids) {
+    EXPECT_FALSE(instance_.is_write(q));
+  }
+}
+
+TEST_F(TpccFixture, SingleSiteCostIsPositiveAndStable) {
+  CostModel model(&instance_, {.p = 8, .lambda = 0.1});
+  Partitioning baseline = SingleSiteBaseline(instance_, 1);
+  const double cost = model.Objective(baseline);
+  EXPECT_GT(cost, 0);
+  // Determinism: rebuilding the instance gives the identical cost.
+  Instance again = MakeTpccInstance();
+  CostModel model2(&again, {.p = 8, .lambda = 0.1});
+  EXPECT_DOUBLE_EQ(model2.Objective(SingleSiteBaseline(again, 1)), cost);
+}
+
+TEST_F(TpccFixture, NewOrderAccessesElevenRowsOnAverage) {
+  // The paper: "the New-Order transaction ... assumed to access 11 rows in
+  // average" — i.e. its iterated queries touch 10 rows, the rest 1.
+  auto t = instance_.workload().FindTransaction("NewOrder");
+  ASSERT_TRUE(t.ok());
+  bool has_ten = false, has_one = false;
+  for (int q : instance_.workload().transaction(t.value()).query_ids) {
+    for (const auto& [tbl, rows] : instance_.workload().query(q).table_rows) {
+      (void)tbl;
+      has_ten |= rows == 10.0;
+      has_one |= rows == 1.0;
+    }
+  }
+  EXPECT_TRUE(has_ten);
+  EXPECT_TRUE(has_one);
+}
+
+}  // namespace
+}  // namespace vpart
