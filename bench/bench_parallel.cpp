@@ -1,0 +1,141 @@
+// Scaling bench for the parallel engine: the whole-schema BatchAdvisor at
+// 1/2/4/8 threads on TPC-C and a 20-table random instance, plus the
+// portfolio racer. Emits JSON (to stdout) so runs can seed the repo's
+// BENCH_*.json perf trajectory:
+//
+//   $ ./build/bench_parallel > BENCH_parallel.json
+//
+// Per-table solves are wall-clock budgeted (VPART_SA_TIME_LIMIT_S, default
+// 0.25 s per table), so the measured speedup isolates the engine's
+// orchestration: N tables x budget serial vs ceil(N/threads) x budget
+// racing. The batch contract guarantees the advice itself is
+// thread-count-invariant for deterministic per-table algorithms.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/batch_advisor.h"
+#include "engine/portfolio.h"
+#include "solver/advisor.h"
+
+namespace vpart::bench {
+namespace {
+
+struct BatchPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  double cost = 0.0;
+  double reduction_percent = 0.0;
+};
+
+BatchPoint RunBatch(const Instance& instance, int threads,
+                    double per_table_budget) {
+  BatchAdvisorOptions options;
+  options.advisor.num_sites = 3;
+  options.advisor.algorithm = AdvisorOptions::Algorithm::kSa;
+  options.advisor.time_limit_seconds = per_table_budget;
+  // Anneal until the per-table budget expires: each table then costs one
+  // budget of wall clock, which is what the orchestration speedup of the
+  // pool (ceil(tables/threads) budgets instead of tables x budget) is
+  // measured against.
+  options.advisor.sa_max_restarts = 1 << 20;
+  options.advisor.seed = 7;
+  options.num_threads = threads;
+  auto advised = AdviseSchema(instance, options);
+  BatchPoint point;
+  point.threads = threads;
+  if (!advised.ok()) {
+    std::fprintf(stderr, "batch advise failed: %s\n",
+                 advised.status().ToString().c_str());
+    return point;
+  }
+  point.seconds = advised->seconds;
+  point.cost = advised->combined.cost;
+  point.reduction_percent = advised->combined.reduction_percent;
+  return point;
+}
+
+void EmitBatchSeries(const char* key, const Instance& instance,
+                     double per_table_budget, bool& first_section) {
+  std::vector<BatchPoint> points;
+  for (int threads : {1, 2, 4, 8}) {
+    points.push_back(RunBatch(instance, threads, per_table_budget));
+  }
+  const double base = points.front().seconds;
+  if (!first_section) std::printf(",\n");
+  first_section = false;
+  std::printf("  \"%s\": [\n", key);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BatchPoint& p = points[i];
+    std::printf("    {\"threads\": %d, \"seconds\": %.3f, "
+                "\"speedup_vs_1\": %.2f, \"cost\": %.1f, "
+                "\"reduction_percent\": %.1f}%s\n",
+                p.threads, p.seconds,
+                p.seconds > 0 ? base / p.seconds : 0.0, p.cost,
+                p.reduction_percent, i + 1 < points.size() ? "," : "");
+  }
+  std::printf("  ]");
+}
+
+void EmitPortfolioSeries(const Instance& instance, double time_limit,
+                         bool& first_section) {
+  if (!first_section) std::printf(",\n");
+  first_section = false;
+  std::printf("  \"portfolio_tpcc\": [\n");
+  const int variants[] = {1, 4};
+  for (size_t i = 0; i < 2; ++i) {
+    CostModel model(&instance, CostParams{});
+    PortfolioOptions options;
+    options.num_sites = 3;
+    options.time_limit_seconds = time_limit;
+    options.num_threads = variants[i];
+    auto result = SolvePortfolio(model, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "portfolio failed: %s\n",
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("    {\"threads\": %d, \"seconds\": %.3f, "
+                "\"cost\": %.1f, \"winner\": \"%s\", "
+                "\"proven_optimal\": %s}%s\n",
+                variants[i], result->seconds, result->cost,
+                result->winner.c_str(),
+                result->proven_optimal ? "true" : "false",
+                i + 1 < 2 ? "," : "");
+  }
+  std::printf("  ]");
+}
+
+int Main() {
+  const double per_table_budget = SaTimeLimit(0.25);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"parallel\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"per_table_budget_seconds\": %.3f,\n", per_table_budget);
+  bool first_section = true;
+
+  Instance tpcc = MakeTpccInstance();
+  EmitBatchSeries("tpcc_batch", tpcc, per_table_budget, first_section);
+
+  // 20 tables x 20 transactions: wider fan-out than TPC-C's 9 tables.
+  Instance random_instance =
+      MakeRandomInstance(Table1DefaultParams(/*size=*/20, /*seed=*/3));
+  EmitBatchSeries("random_t20_batch", random_instance,
+                  per_table_budget / 2, first_section);
+
+  EmitPortfolioSeries(tpcc, /*time_limit=*/8.0 * per_table_budget,
+                      first_section);
+
+  std::printf("\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vpart::bench
+
+int main() { return vpart::bench::Main(); }

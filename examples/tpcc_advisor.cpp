@@ -1,12 +1,17 @@
 // Partitioning advisor for the TPC-C workload — the paper's flagship
 // experiment as a runnable tool.
 //
-//   $ ./build/examples/tpcc_advisor [sites] [p] [lambda] [algorithm]
+//   $ ./build/tpcc_advisor [sites] [p] [lambda] [algorithm] [threads]
 //
 //   sites      number of sites (default 3)
 //   p          network penalty factor (default 8; 0 = local placement)
 //   lambda     load-balancing weight in [0,1] (default 0.1)
-//   algorithm  auto | ilp | sa | exhaustive | incremental (default auto)
+//   algorithm  auto | ilp | sa | exhaustive | incremental | portfolio |
+//              batch (default auto). `portfolio` races ILP/SA/incremental
+//              concurrently on one whole-schema solve; `batch` advises all
+//              nine tables concurrently, one solve per table (the paper's
+//              per-table setup).
+//   threads    worker threads (default 1; auto picks portfolio when > 1)
 //
 // Prints the Table-4 style site layout plus the cost breakdown.
 
@@ -15,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "engine/batch_advisor.h"
 #include "instances/tpcc.h"
 #include "report/partition_report.h"
 #include "solver/advisor.h"
@@ -26,6 +32,7 @@ int main(int argc, char** argv) {
   options.num_sites = argc > 1 ? std::atoi(argv[1]) : 3;
   options.cost.p = argc > 2 ? std::atof(argv[2]) : 8.0;
   options.cost.lambda = argc > 3 ? std::atof(argv[3]) : 0.1;
+  bool batch = false;
   if (argc > 4) {
     const std::string name = argv[4];
     if (name == "ilp") {
@@ -36,19 +43,63 @@ int main(int argc, char** argv) {
       options.algorithm = AdvisorOptions::Algorithm::kExhaustive;
     } else if (name == "incremental") {
       options.algorithm = AdvisorOptions::Algorithm::kIncremental;
+    } else if (name == "portfolio") {
+      options.algorithm = AdvisorOptions::Algorithm::kPortfolio;
+    } else if (name == "batch") {
+      batch = true;
     } else if (name != "auto") {
       std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
       return 2;
     }
   }
+  const int threads = argc > 5 ? std::atoi(argv[5]) : 1;
+  options.num_threads = threads > 0 ? threads : 1;
 
   Instance tpcc = MakeTpccInstance();
   std::printf("TPC-C v5: %d tables, %d attributes, %d transactions, "
               "%d queries\n",
               tpcc.schema().num_tables(), tpcc.num_attributes(),
               tpcc.num_transactions(), tpcc.num_queries());
-  std::printf("solving for %d sites, p = %g, lambda = %g ...\n\n",
-              options.num_sites, options.cost.p, options.cost.lambda);
+  std::printf("solving for %d sites, p = %g, lambda = %g, %d thread(s) "
+              "...\n\n",
+              options.num_sites, options.cost.p, options.cost.lambda,
+              options.num_threads);
+
+  if (batch) {
+    // Whole-schema batch mode: one independent solve per table, all tables
+    // advised concurrently on the engine's pool.
+    BatchAdvisorOptions batch_options;
+    batch_options.advisor = options;
+    batch_options.advisor.num_threads = 1;  // concurrency across tables
+    batch_options.num_threads = options.num_threads;
+    auto advised = AdviseSchema(tpcc, batch_options);
+    if (!advised.ok()) {
+      std::fprintf(stderr, "batch advisor failed: %s\n",
+                   advised.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %10s %10s %8s  %s\n", "table", "cost",
+                "1-site", "redux", "algorithm");
+    for (const TableAdvice& advice : advised->tables) {
+      std::printf("%-12s %10.0f %10.0f %7.1f%%  %s\n",
+                  advice.table_name.c_str(), advice.result.cost,
+                  advice.result.single_site_cost,
+                  advice.result.reduction_percent,
+                  advice.result.algorithm_used.c_str());
+    }
+    const AdvisorResult& combined = advised->combined;
+    std::printf("\n%s", RenderPartitionTable(tpcc, combined.partitioning)
+                            .c_str());
+    std::printf("schema-wide: cost %.0f vs single-site %.0f "
+                "(%.1f%% reduction)%s\n",
+                combined.cost, combined.single_site_cost,
+                combined.reduction_percent,
+                combined.proven_optimal ? ", proven optimal" : "");
+    std::printf("%s advised %zu tables on %d thread(s) in %.2fs\n",
+                combined.algorithm_used.c_str(), advised->tables.size(),
+                advised->threads_used, advised->seconds);
+    return 0;
+  }
 
   auto result = AdvisePartitioning(tpcc, options);
   if (!result.ok()) {

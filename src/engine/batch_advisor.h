@@ -1,0 +1,76 @@
+#ifndef VPART_ENGINE_BATCH_ADVISOR_H_
+#define VPART_ENGINE_BATCH_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "solver/advisor.h"
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// One table's standalone problem carved out of a whole-schema instance.
+/// The paper solves one program per table (§5: every experiment partitions
+/// a table at a time), which makes whole-schema advice embarrassingly
+/// parallel: the per-table objectives are independent because every cost
+/// term c1..c4 is a sum over (attribute, query) pairs of a single table.
+///
+/// Semantics note: solving tables independently assigns a transaction a
+/// site *per table* (the site its queries against that table execute on).
+/// The summed per-table objective therefore prices a multi-table
+/// transaction as running each table's queries at that table's chosen
+/// site — the natural model once tables are placed independently.
+struct TableSubinstance {
+  int table_id = -1;
+  Instance instance;
+  /// Subinstance attribute id -> whole-schema attribute id.
+  std::vector<int> attribute_map;
+  /// Subinstance transaction id -> whole-schema transaction id.
+  std::vector<int> transaction_map;
+};
+
+/// Splits `instance` into one subinstance per table that any query touches.
+/// Tables no query accesses are omitted (they have no workload to advise).
+StatusOr<std::vector<TableSubinstance>> SplitInstanceByTable(
+    const Instance& instance);
+
+struct BatchAdvisorOptions {
+  /// Applied to every per-table solve; `advisor.time_limit_seconds` is a
+  /// per-table budget. `advisor.num_threads` stays per-solve (leave it 1
+  /// unless tables are few and huge).
+  AdvisorOptions advisor;
+  /// Tables advised concurrently; 0 = ThreadPool::DefaultThreadCount().
+  int num_threads = 0;
+};
+
+struct TableAdvice {
+  int table_id = -1;
+  std::string table_name;
+  AdvisorResult result;
+};
+
+/// Whole-schema advice: per-table recommendations plus a merged view.
+struct BatchAdvisorResult {
+  /// One entry per advised table, ascending table id.
+  std::vector<TableAdvice> tables;
+  /// Schema-wide merge: `cost`/`single_site_cost`/`breakdown` are sums over
+  /// the tables, `partitioning.y` is the union of the per-table placements
+  /// (attributes of untouched tables land on site 0), and
+  /// `partitioning.x` projects each transaction to the site it serves the
+  /// most workload weight on (its exact per-table sites live in `tables`).
+  AdvisorResult combined;
+  int threads_used = 1;
+  double seconds = 0.0;
+};
+
+/// Decomposes `instance` per table and advises all tables concurrently on a
+/// work-stealing pool. Results are identical for any thread count (the
+/// per-table solves are independent and seeded); only the wall clock
+/// changes. Fails if any per-table solve fails.
+StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
+                                          const BatchAdvisorOptions& options);
+
+}  // namespace vpart
+
+#endif  // VPART_ENGINE_BATCH_ADVISOR_H_

@@ -1,0 +1,233 @@
+#include "engine/portfolio.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+#include "engine/thread_pool.h"
+#include "solver/ilp_solver.h"
+#include "solver/incremental_solver.h"
+#include "solver/sa_solver.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace vpart {
+namespace {
+
+/// The racing lanes' meeting point: best partitioning under a mutex plus an
+/// atomic mirror of its scalarized objective that the branch & bound reads
+/// lock-free on every node (MipOptions.external_upper_bound).
+class SharedIncumbent {
+ public:
+  SharedIncumbent() { bound_.store(std::numeric_limits<double>::infinity()); }
+
+  /// Publishes if strictly better; returns whether `p` took the lead.
+  bool Offer(const Partitioning& p, double scalarized, double cost,
+             const std::string& owner) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (best_.has_value() && scalarized >= scalarized_) return false;
+    best_ = p;
+    scalarized_ = scalarized;
+    cost_ = cost;
+    owner_ = owner;
+    bound_.store(scalarized, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Current leader's partitioning (for warm starts); empty before any
+  /// publish.
+  std::optional<Partitioning> Leader() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return best_;
+  }
+
+  bool Snapshot(Partitioning& p, double& scalarized, double& cost,
+                std::string& owner) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!best_.has_value()) return false;
+    p = *best_;
+    scalarized = scalarized_;
+    cost = cost_;
+    owner = owner_;
+    return true;
+  }
+
+  const std::atomic<double>* bound() const { return &bound_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::optional<Partitioning> best_;
+  double scalarized_ = 0.0;
+  double cost_ = 0.0;
+  std::string owner_;
+  std::atomic<double> bound_;
+};
+
+}  // namespace
+
+StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
+                                         const PortfolioOptions& options) {
+  if (options.num_sites < 1) {
+    return InvalidArgumentError("num_sites must be >= 1");
+  }
+  if (!options.run_ilp && !options.run_sa && !options.run_incremental) {
+    return InvalidArgumentError("portfolio needs at least one lane");
+  }
+  Stopwatch watch;
+  CancellationToken token =
+      CancellationToken::WithDeadline(options.time_limit_seconds);
+  SharedIncumbent shared;
+
+  const int pool_size =
+      options.num_threads > 0 ? options.num_threads
+                              : ThreadPool::DefaultThreadCount();
+  const int bnb_threads =
+      options.bnb_threads > 0 ? options.bnb_threads
+                              : std::max(1, pool_size / 2);
+
+  std::mutex lanes_mu;
+  std::vector<PortfolioLane> lanes;
+  std::atomic<bool> proof_done{false};
+
+  auto publish = [&](const Partitioning& p, const std::string& owner) {
+    // Publishing validates first: a lane must never poison the shared
+    // bound (the B&B prunes against it) with an infeasible layout.
+    if (!ValidatePartitioning(cost_model.instance(), p,
+                              !options.allow_replication)
+             .ok()) {
+      return;
+    }
+    const double scalarized = cost_model.ScalarizedObjective(p);
+    const double cost = cost_model.Objective(p);
+    shared.Offer(p, scalarized, cost, owner);
+  };
+
+  auto record_lane = [&](PortfolioLane lane) {
+    std::lock_guard<std::mutex> lock(lanes_mu);
+    lanes.push_back(std::move(lane));
+  };
+
+  // On a pool too small to actually race, the heuristic lanes serialize in
+  // front of the ILP and must not eat the whole wall clock.
+  const bool lanes_race = pool_size >= 2;
+  const double heuristic_budget =
+      (lanes_race || options.time_limit_seconds <= 0)
+          ? std::numeric_limits<double>::infinity()
+          : options.time_limit_seconds * 0.25;
+
+  // --- SA lane: short re-anneal slices, each warm-started from the current
+  // leader and published back, until the deadline or the ILP's proof.
+  auto sa_lane = [&]() {
+    Stopwatch lane_watch;
+    PortfolioLane lane;
+    lane.name = "sa";
+    uint64_t slice_seed = options.seed;
+    while (!token.cancelled()) {
+      const double remaining =
+          std::min(token.RemainingSeconds(),
+                   heuristic_budget - lane_watch.ElapsedSeconds());
+      if (remaining < 1e-3) break;
+      SaOptions sa;
+      sa.seed = slice_seed;
+      slice_seed = slice_seed * 6364136223846793005ull + 1442695040888963407ull;
+      sa.allow_replication = options.allow_replication;
+      sa.time_limit_seconds = std::min(options.sa_slice_seconds, remaining);
+      std::optional<Partitioning> leader = shared.Leader();
+      if (leader.has_value() &&
+          leader->num_sites() == options.num_sites) {
+        sa.initial = &*leader;
+      }
+      SaResult result = SolveWithSa(cost_model, options.num_sites, sa);
+      publish(result.partitioning, "sa");
+      if (!lane.has_solution || result.scalarized < lane.scalarized) {
+        lane.has_solution = true;
+        lane.cost = result.cost;
+        lane.scalarized = result.scalarized;
+      }
+      if (!token.HasDeadline()) break;  // no budget: one slice is the lane
+    }
+    lane.seconds = lane_watch.ElapsedSeconds();
+    record_lane(std::move(lane));
+  };
+
+  // --- Incremental lane: the §4 20/80 heuristic, one full run.
+  auto incremental_lane = [&]() {
+    Stopwatch lane_watch;
+    PortfolioLane lane;
+    lane.name = "incremental";
+    IncrementalOptions inc;
+    inc.sa.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
+    inc.sa.allow_replication = options.allow_replication;
+    inc.sa.time_limit_seconds =
+        std::min(token.RemainingSeconds() / 2, heuristic_budget);
+    SaResult result =
+        SolveIncrementally(cost_model, options.num_sites, inc);
+    publish(result.partitioning, "incremental");
+    lane.has_solution = true;
+    lane.cost = result.cost;
+    lane.scalarized = result.scalarized;
+    lane.seconds = lane_watch.ElapsedSeconds();
+    record_lane(std::move(lane));
+  };
+
+  // --- ILP lane: branch & bound pruning against the shared atomic bound;
+  // its exhausted search is the portfolio's optimality proof.
+  auto ilp_lane = [&]() {
+    Stopwatch lane_watch;
+    PortfolioLane lane;
+    lane.name = "ilp";
+    IlpSolverOptions ilp;
+    ilp.formulation.num_sites = options.num_sites;
+    ilp.formulation.allow_replication = options.allow_replication;
+    ilp.mip.relative_gap = options.relative_gap;
+    ilp.mip.time_limit_seconds = token.RemainingSeconds();
+    ilp.mip.num_threads = bnb_threads;
+    ilp.mip.external_upper_bound = shared.bound();
+    ilp.mip.cancel_flag = token.flag();
+    IlpSolveResult result = SolveWithIlp(cost_model, ilp);
+    if (result.ok()) {
+      publish(*result.partitioning, "ilp");
+      lane.has_solution = true;
+      lane.cost = result.cost;
+      lane.scalarized = result.scalarized;
+    }
+    if (result.search_exhausted) {
+      // Proof complete: nothing beats min(ILP incumbent, shared bound)
+      // within the gap. Stop the heuristic lanes.
+      proof_done.store(true, std::memory_order_relaxed);
+      token.Cancel();
+    }
+    lane.seconds = lane_watch.ElapsedSeconds();
+    record_lane(std::move(lane));
+  };
+
+  {
+    ThreadPool pool(pool_size);
+    std::vector<std::future<void>> futures;
+    // SA first: on a single-thread pool the lanes serialize, and the ILP
+    // should still start with a published bound to prune against.
+    if (options.run_sa) futures.push_back(pool.Submit(sa_lane));
+    if (options.run_incremental) {
+      futures.push_back(pool.Submit(incremental_lane));
+    }
+    if (options.run_ilp) futures.push_back(pool.Submit(ilp_lane));
+    for (auto& future : futures) future.get();
+  }
+
+  PortfolioResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.lanes = std::move(lanes);
+  result.proven_optimal = proof_done.load(std::memory_order_relaxed);
+  if (!shared.Snapshot(result.partitioning, result.scalarized, result.cost,
+                       result.winner)) {
+    return InfeasibleError(
+        "no portfolio lane produced a feasible partitioning");
+  }
+  return result;
+}
+
+}  // namespace vpart

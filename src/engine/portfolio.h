@@ -1,0 +1,71 @@
+#ifndef VPART_ENGINE_PORTFOLIO_H_
+#define VPART_ENGINE_PORTFOLIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "util/status.h"
+
+namespace vpart {
+
+/// Races the repo's solvers concurrently on one instance: the linearized
+/// ILP (branch & bound), restart-sliced simulated annealing, and the §4
+/// incremental heuristic. The lanes share their best incumbent through an
+/// atomic bound in scalarized-objective (eq. 6) space, so the branch &
+/// bound prunes against SA's solutions while SA warm-starts from whatever
+/// lane currently leads. Returns as soon as optimality is proven, or the
+/// best solution found at the deadline.
+struct PortfolioOptions {
+  int num_sites = 2;
+  bool allow_replication = true;
+  /// Whole-race wall clock. Lanes slice whatever remains of it.
+  double time_limit_seconds = 5.0;
+  /// B&B gap; also the tolerance of the optimality proof the portfolio
+  /// reports (proven means: nothing beats the winner by more than this).
+  double relative_gap = 0.001;
+  uint64_t seed = 1;
+  /// Pool size for the lanes; 0 = ThreadPool::DefaultThreadCount(). With 1
+  /// thread the lanes run sequentially (SA first so the ILP still benefits
+  /// from the shared bound).
+  int num_threads = 0;
+  /// Workers inside the ILP lane's branch & bound (MipOptions.num_threads).
+  /// 0 derives max(1, num_threads / 2).
+  int bnb_threads = 0;
+  /// SA re-anneal slice length; each slice publishes into the shared bound
+  /// and warm-starts from the current leader.
+  double sa_slice_seconds = 0.5;
+  bool run_ilp = true;
+  bool run_sa = true;
+  bool run_incremental = true;
+};
+
+/// Per-lane telemetry of one race.
+struct PortfolioLane {
+  std::string name;
+  bool has_solution = false;
+  double cost = 0.0;        // objective (4)
+  double scalarized = 0.0;  // objective (6), the race metric
+  double seconds = 0.0;     // lane wall clock (may end early on cancel)
+};
+
+struct PortfolioResult {
+  Partitioning partitioning;
+  double cost = 0.0;
+  double scalarized = 0.0;
+  /// Lane that produced the winning solution ("ilp", "sa", "incremental").
+  std::string winner;
+  /// The ILP lane finished its proof: no solution beats `scalarized` by
+  /// more than `relative_gap` (regardless of which lane found the winner).
+  bool proven_optimal = false;
+  double seconds = 0.0;
+  std::vector<PortfolioLane> lanes;
+};
+
+StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
+                                         const PortfolioOptions& options);
+
+}  // namespace vpart
+
+#endif  // VPART_ENGINE_PORTFOLIO_H_

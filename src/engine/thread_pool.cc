@@ -1,0 +1,160 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpart {
+namespace {
+
+// Which pool (if any) owns the current thread, and the worker index within
+// it. Lets Submit-from-worker push to the worker's own deque.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+
+}  // namespace
+
+CancellationToken::CancellationToken()
+    : state_(std::make_shared<State>(0.0)) {}
+
+CancellationToken CancellationToken::WithDeadline(double limit_seconds) {
+  CancellationToken token;
+  token.state_ = std::make_shared<State>(limit_seconds);
+  return token;
+}
+
+bool CancellationToken::cancelled() const {
+  if (state_->flag.load(std::memory_order_relaxed)) return true;
+  if (state_->deadline.Expired()) {
+    // Latch so raw-flag observers (mip) see the deadline too.
+    state_->flag.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : DefaultThreadCount();
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true);
+  {
+    // Pair the flag with the cv under the mutex so no worker sleeps through
+    // the shutdown notification.
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+int ThreadPool::CurrentWorkerIndex() const {
+  return t_pool == this ? t_worker : -1;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  assert(!shutdown_.load());
+  int target;
+  if (t_pool == this) {
+    target = t_worker;  // locality: submitter keeps its own work
+  } else {
+    target = static_cast<int>(next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                              queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1);
+  {
+    // Fence against the sleep path: a worker that read pending_ == 0 is
+    // either still holding idle_mutex_ (sees the increment on recheck) or
+    // already waiting (receives this notify).
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(int worker, std::function<void()>& out) {
+  // Own deque first, newest task first (depth-first locality) ...
+  {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task of a sibling.
+  const int n = static_cast<int>(queues_.size());
+  for (int offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(worker + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  t_pool = this;
+  t_worker = worker;
+  std::function<void()> task;
+  while (true) {
+    if (TryPop(worker, task)) {
+      pending_.fetch_sub(1);
+      task();           // packaged_task: exceptions land in the future
+      task = nullptr;   // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (shutdown_.load() && pending_.load() == 0) break;
+    if (pending_.load() > 0) continue;  // work appeared; recheck queues
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  t_pool = nullptr;
+  t_worker = -1;
+}
+
+void ParallelFor(ThreadPool& pool, int begin, int end,
+                 const std::function<void(int)>& fn,
+                 const CancellationToken* cancel) {
+  assert(pool.CurrentWorkerIndex() < 0 &&
+         "ParallelFor must not run on a worker of the same pool");
+  if (begin >= end) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(end - begin);
+  for (int i = begin; i < end; ++i) {
+    futures.push_back(pool.Submit([&fn, cancel, i]() {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vpart

@@ -1,0 +1,128 @@
+#ifndef VPART_ENGINE_THREAD_POOL_H_
+#define VPART_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace vpart {
+
+/// Cooperative cancellation handle shared by a controller and its workers.
+/// Copies alias the same state; `Cancel()` on any copy is visible to all.
+/// A token may carry a deadline: `cancelled()` reports true once either
+/// `Cancel()` was called or the deadline expired (expiry latches the flag so
+/// raw-flag observers see it too). All members are thread-safe.
+///
+/// Layers below engine/ (e.g. mip/) that must not name engine types can be
+/// handed `flag()` — a plain `const std::atomic<bool>*`.
+class CancellationToken {
+ public:
+  /// A token with no deadline; cancels only via Cancel().
+  CancellationToken();
+
+  /// A token that self-cancels `limit_seconds` from now (<= 0: no deadline).
+  static CancellationToken WithDeadline(double limit_seconds);
+
+  void Cancel() { state_->flag.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const;
+
+  /// Seconds until the deadline; a very large value when none.
+  double RemainingSeconds() const { return state_->deadline.RemainingSeconds(); }
+
+  bool HasDeadline() const { return state_->deadline.HasLimit(); }
+
+  /// Raw flag handle. Deadline expiry reaches the flag lazily — it latches
+  /// whenever any copy of the token polls cancelled().
+  const std::atomic<bool>* flag() const { return &state_->flag; }
+
+ private:
+  struct State {
+    explicit State(double limit_seconds) : deadline(limit_seconds) {}
+    std::atomic<bool> flag{false};
+    Deadline deadline;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed-size work-stealing thread pool. Each worker owns a deque: tasks
+/// submitted from a pool thread go to its own deque (LIFO end, for locality);
+/// external submissions are distributed round-robin. An idle worker drains
+/// its own deque from the back and steals from the front of its siblings',
+/// so recursive fan-outs (portfolio lanes, batch-advisor tables, B&B node
+/// pumps) balance without a central hot queue.
+///
+/// `Submit` returns a std::future carrying the callable's result; exceptions
+/// thrown by the task propagate through the future. The destructor drains
+/// already-queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreadCount();
+
+  /// Index of the pool worker running the caller, or -1 off-pool.
+  int CurrentWorkerIndex() const;
+
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Enqueue(std::function<void()> task);
+  bool TryPop(int worker, std::function<void()>& out);
+  void WorkerLoop(int worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery; pending_ counts queued-but-unstarted tasks.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<long> pending_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<unsigned> next_queue_{0};
+};
+
+/// Blocks until fn(i) ran for every i in [begin, end), fanning the calls out
+/// over `pool`. When `cancel` fires, not-yet-started indices are skipped
+/// (running ones finish). Exceptions from fn propagate (first one wins).
+/// Must not be called from inside a pool worker of the same pool (the
+/// blocking wait could deadlock a fully-busy pool).
+void ParallelFor(ThreadPool& pool, int begin, int end,
+                 const std::function<void(int)>& fn,
+                 const CancellationToken* cancel = nullptr);
+
+}  // namespace vpart
+
+#endif  // VPART_ENGINE_THREAD_POOL_H_

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <set>
 
+#include "engine/thread_pool.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -33,6 +37,72 @@ double MipResult::GapPercent() const {
 
 namespace {
 
+double ExternalBound(const MipOptions& options) {
+  if (options.external_upper_bound == nullptr) return kLpInfinity;
+  return options.external_upper_bound->load(std::memory_order_relaxed);
+}
+
+bool Cancelled(const MipOptions& options) {
+  return options.cancel_flag != nullptr &&
+         options.cancel_flag->load(std::memory_order_relaxed);
+}
+
+/// (ub - bound)/|ub| <= gap: no open node below `bound` can improve on `ub`
+/// by more than the relative gap.
+bool WithinGap(double ub, double bound, double gap) {
+  if (!std::isfinite(ub)) return false;
+  const double denom = std::max(std::abs(ub), 1e-9);
+  return (ub - bound) / denom <= gap;
+}
+
+/// Most fractional integer variable of `x`, or -1 when integral. Shared by
+/// the serial and parallel searches so the branching rule cannot diverge.
+int MostFractionalVariable(const LpModel& model, double integrality_tol,
+                           const std::vector<double>& x) {
+  int best = -1;
+  double best_score = integrality_tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_score) {
+      best_score = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Shared status/flag assignment for both search modes.
+///  * `clean` — the tree emptied with no limit stop and no dropped LP node.
+///  * `closed` — the remaining open bound is within the gap of the
+///    effective incumbent min(own, external).
+void FinalizeStatus(bool have_incumbent, double incumbent_obj,
+                    double external_bound, bool clean, bool closed,
+                    bool pruned_by_external, MipResult& result) {
+  const bool proved = clean || closed;
+  result.search_exhausted = proved;
+  result.pruned_by_external_bound = pruned_by_external;
+  if (have_incumbent) {
+    // Our incumbent is itself proven optimal only if it is the effective
+    // incumbent; otherwise the external bound holder owns the proof.
+    const bool own_effective = incumbent_obj <= external_bound;
+    result.status = (proved && (own_effective || !pruned_by_external))
+                        ? MipStatus::kOptimal
+                        : MipStatus::kFeasible;
+  } else if (proved) {
+    // With external pruning this means "nothing beats the external bound",
+    // which the caller distinguishes via pruned_by_external_bound.
+    result.status = MipStatus::kInfeasible;
+  } else {
+    result.status = MipStatus::kNoSolution;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial depth-first search (num_threads == 1): the original plunging DFS.
+// ---------------------------------------------------------------------------
+
 /// A node is a chain of single-variable bound tightenings over the root.
 struct Node {
   int parent = -1;
@@ -54,9 +124,11 @@ class BranchAndBound {
   void MaterializeBounds(int node_index,
                          std::vector<std::pair<double, double>>& bounds,
                          const std::vector<Node>& nodes) const;
-  int PickBranchingVariable(const std::vector<double>& x) const;
   bool TryUpdateIncumbent(const std::vector<double>& x, double objective);
-  bool GapClosed() const;
+  /// Prunes `bound` against min(own incumbent, external bound) within the
+  /// gap; notes when the external bound was the deciding reason.
+  bool PruneBound(double bound);
+  bool GapClosed();
   /// Rounding dive from (bounds, lp): repeatedly fixes the fractional
   /// integer closest to integrality at its rounding and re-solves. Any
   /// integral LP optimum found becomes an incumbent candidate.
@@ -71,6 +143,8 @@ class BranchAndBound {
   std::vector<double> incumbent_;
   std::multiset<double> open_bounds_;
   double root_bound_ = -kLpInfinity;
+  bool pruned_by_external_ = false;
+  bool any_lp_failure_ = false;
   MipResult result_;
 };
 
@@ -88,21 +162,6 @@ void BranchAndBound::MaterializeBounds(
     bounds[node.var].first = std::max(bounds[node.var].first, node.lower);
     bounds[node.var].second = std::min(bounds[node.var].second, node.upper);
   }
-}
-
-int BranchAndBound::PickBranchingVariable(const std::vector<double>& x) const {
-  int best = -1;
-  double best_score = options_.integrality_tol;
-  for (int j = 0; j < model_.num_variables(); ++j) {
-    if (!model_.variable(j).is_integer) continue;
-    const double frac = x[j] - std::floor(x[j]);
-    const double dist = std::min(frac, 1.0 - frac);
-    if (dist > best_score) {
-      best_score = dist;
-      best = j;
-    }
-  }
-  return best;
 }
 
 bool BranchAndBound::TryUpdateIncumbent(const std::vector<double>& x,
@@ -125,12 +184,23 @@ bool BranchAndBound::TryUpdateIncumbent(const std::vector<double>& x,
   return true;
 }
 
+bool BranchAndBound::PruneBound(double bound) {
+  const double own = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+  const double ext = ExternalBound(options_);
+  const double effective = std::min(own, ext);
+  if (!WithinGap(effective, bound, options_.relative_gap)) return false;
+  if (!WithinGap(own, bound, options_.relative_gap)) {
+    pruned_by_external_ = true;  // only the shared bound justified this cut
+  }
+  return true;
+}
+
 void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
                           LpResult lp) {
   // Bounded number of re-solves; each dive step fixes one variable.
   const int max_depth = model_.num_variables() + 8;
   for (int depth = 0; depth < max_depth; ++depth) {
-    if (deadline_.Expired()) return;
+    if (deadline_.Expired() || Cancelled(options_)) return;
     // Find the fractional integer variable closest to an integer value.
     int best = -1;
     double best_dist = 0.5 + 1e-9;
@@ -161,12 +231,20 @@ void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
   }
 }
 
-bool BranchAndBound::GapClosed() const {
-  if (!have_incumbent_) return false;
+bool BranchAndBound::GapClosed() {
+  // An LP failure silently dropped a subtree: its bound is missing from
+  // open_bounds_, so no closure claim based on the open set is sound.
+  if (any_lp_failure_) return false;
+  const double own = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+  const double effective = std::min(own, ExternalBound(options_));
+  if (!std::isfinite(effective)) return false;
   const double bound =
-      open_bounds_.empty() ? incumbent_obj_ : *open_bounds_.begin();
-  const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
-  return (incumbent_obj_ - bound) / denom <= options_.relative_gap + 1e-12;
+      open_bounds_.empty() ? effective : *open_bounds_.begin();
+  if (!WithinGap(effective, bound, options_.relative_gap + 1e-12)) {
+    return false;
+  }
+  if (effective < own) pruned_by_external_ = true;
+  return true;
 }
 
 MipResult BranchAndBound::Run() {
@@ -190,28 +268,26 @@ MipResult BranchAndBound::Run() {
 
   std::vector<std::pair<double, double>> bounds(model_.num_variables());
   bool limit_hit = false;
-  bool any_lp_failure = false;
+  bool closed = false;
 
   while (!stack.empty()) {
-    if (deadline_.Expired() ||
+    if (deadline_.Expired() || Cancelled(options_) ||
         (options_.max_nodes > 0 && result_.nodes >= options_.max_nodes)) {
       limit_hit = true;
       break;
     }
-    if (GapClosed()) break;
+    if (GapClosed()) {
+      closed = true;
+      break;
+    }
 
     const int node_index = stack.back();
     stack.pop_back();
     const Node node = nodes[node_index];
     open_bounds_.erase(open_bounds_.find(node.bound));
 
-    // Bound-based pruning against the incumbent (gap-aware).
-    if (have_incumbent_) {
-      const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
-      if ((incumbent_obj_ - node.bound) / denom <= options_.relative_gap) {
-        continue;
-      }
-    }
+    // Bound-based pruning against the effective incumbent (gap-aware).
+    if (PruneBound(node.bound)) continue;
 
     ++result_.nodes;
     MaterializeBounds(node_index, bounds, nodes);
@@ -231,20 +307,16 @@ MipResult BranchAndBound::Run() {
       continue;
     }
     if (lp.status != LpStatus::kOptimal) {
-      any_lp_failure = true;
+      any_lp_failure_ = true;
       continue;  // conservative: drop the node (bound stays valid via others)
     }
 
     const double lp_bound = lp.objective;
     if (node_index == 0) root_bound_ = lp_bound;
-    if (have_incumbent_) {
-      const double denom = std::max(std::abs(incumbent_obj_), 1e-9);
-      if ((incumbent_obj_ - lp_bound) / denom <= options_.relative_gap) {
-        continue;
-      }
-    }
+    if (PruneBound(lp_bound)) continue;
 
-    const int branch_var = PickBranchingVariable(lp.values);
+    const int branch_var =
+        MostFractionalVariable(model_, options_.integrality_tol, lp.values);
     if (branch_var < 0) {
       TryUpdateIncumbent(lp.values, lp_bound);
       continue;
@@ -290,11 +362,17 @@ MipResult BranchAndBound::Run() {
   }
 
   result_.seconds = watch.ElapsedSeconds();
-  // Best bound: min over still-open nodes; exhausted tree -> incumbent.
+  // Best bound: min over still-open nodes; exhausted tree -> incumbent —
+  // capped by the external bound where it provided cuts (nodes pruned
+  // against it were only proven >= the external value, not >= ours).
   double open_min = kLpInfinity;
   for (int i : stack) open_min = std::min(open_min, nodes[i].bound);
-  if (stack.empty() && !limit_hit) {
-    result_.best_bound = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+  if (stack.empty() && !limit_hit && !any_lp_failure_) {
+    double proven = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+    if (pruned_by_external_) {
+      proven = std::min(proven, ExternalBound(options_));
+    }
+    result_.best_bound = proven;
   } else {
     result_.best_bound =
         std::isfinite(open_min) ? open_min : root_bound_;
@@ -303,20 +381,390 @@ MipResult BranchAndBound::Run() {
   if (have_incumbent_) {
     result_.objective = incumbent_obj_;
     result_.values = incumbent_;
-    const bool proved = (stack.empty() && !limit_hit && !any_lp_failure) ||
-                        GapClosed();
-    result_.status = proved ? MipStatus::kOptimal : MipStatus::kFeasible;
-  } else if (stack.empty() && !limit_hit && !any_lp_failure) {
-    result_.status = MipStatus::kInfeasible;
-  } else {
-    result_.status = MipStatus::kNoSolution;
   }
+  // Re-check closure: the loop may have ended with the gap closed without
+  // passing the top-of-loop test again.
+  closed = closed || GapClosed();
+  const bool clean = stack.empty() && !limit_hit && !any_lp_failure_;
+  FinalizeStatus(have_incumbent_, incumbent_obj_, ExternalBound(options_),
+                 clean, closed, pruned_by_external_, result_);
   return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel best-first search (num_threads > 1): subproblem nodes fan out to
+// a thread pool over a mutex-guarded best-first queue; the incumbent is
+// shared. Node chains are immutable shared_ptr links so workers materialize
+// variable bounds without touching shared containers.
+// ---------------------------------------------------------------------------
+
+struct PNode {
+  std::shared_ptr<const PNode> parent;
+  int var = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+  double bound = -kLpInfinity;
+  int depth = 0;
+  long id = 0;  // creation order; tie-breaker for deterministic pops
+};
+
+class ParallelBranchAndBound {
+ public:
+  ParallelBranchAndBound(const LpModel& model, const MipOptions& options)
+      : model_(model),
+        options_(options),
+        deadline_(options.time_limit_seconds) {}
+
+  MipResult Run();
+
+ private:
+  struct OpenEntry {
+    double bound;
+    long id;
+    std::shared_ptr<const PNode> node;
+    bool operator<(const OpenEntry& other) const {
+      if (bound != other.bound) return bound < other.bound;
+      return id < other.id;
+    }
+  };
+
+  void Worker();
+  void ProcessNode(const std::shared_ptr<const PNode>& node,
+                   std::vector<std::pair<double, double>>& bounds);
+  void MaterializeBounds(const PNode& node,
+                         std::vector<std::pair<double, double>>& bounds) const;
+  /// Locks internally; `objective` is recomputed after rounding.
+  void OfferIncumbent(const std::vector<double>& x);
+  void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp);
+
+  double OwnIncumbentLocked() const {
+    return have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+  }
+  bool PruneBoundLocked(double bound);
+  bool GapClosedLocked();
+  void EraseOpenBoundLocked(double bound) {
+    auto it = open_bounds_.find(bound);
+    assert(it != open_bounds_.end());
+    open_bounds_.erase(it);
+  }
+
+  const LpModel& model_;
+  const MipOptions& options_;
+  Deadline deadline_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<OpenEntry> open_;
+  std::multiset<double> open_bounds_;  // open + in-flight node bounds
+  long next_id_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+  bool limit_hit_ = false;
+  bool closed_ = false;
+  bool any_lp_failure_ = false;
+  bool pruned_by_external_ = false;
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = kLpInfinity;
+  std::vector<double> incumbent_;
+  double root_bound_ = -kLpInfinity;
+  long nodes_processed_ = 0;
+  long lp_iterations_ = 0;
+  std::atomic<bool> diving_{false};
+};
+
+void ParallelBranchAndBound::MaterializeBounds(
+    const PNode& node, std::vector<std::pair<double, double>>& bounds) const {
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    bounds[j] = {model_.variable(j).lower, model_.variable(j).upper};
+  }
+  for (const PNode* n = &node; n != nullptr; n = n->parent.get()) {
+    if (n->var < 0) continue;
+    bounds[n->var].first = std::max(bounds[n->var].first, n->lower);
+    bounds[n->var].second = std::min(bounds[n->var].second, n->upper);
+  }
+}
+
+void ParallelBranchAndBound::OfferIncumbent(const std::vector<double>& x) {
+  std::vector<double> rounded = x;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (model_.variable(j).is_integer) rounded[j] = std::round(rounded[j]);
+  }
+  // Feasibility check runs outside the lock (the model is immutable).
+  if (!model_.CheckFeasible(rounded, 1e-5).ok()) {
+    VPART_LOG(Warning) << "rejecting infeasible rounded incumbent";
+    return;
+  }
+  const double objective = model_.EvaluateObjective(rounded);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (have_incumbent_ && objective >= incumbent_obj_) return;
+  have_incumbent_ = true;
+  incumbent_obj_ = objective;
+  incumbent_ = std::move(rounded);
+}
+
+bool ParallelBranchAndBound::PruneBoundLocked(double bound) {
+  const double own = OwnIncumbentLocked();
+  const double effective = std::min(own, ExternalBound(options_));
+  if (!WithinGap(effective, bound, options_.relative_gap)) return false;
+  if (!WithinGap(own, bound, options_.relative_gap)) {
+    pruned_by_external_ = true;
+  }
+  return true;
+}
+
+bool ParallelBranchAndBound::GapClosedLocked() {
+  // A dropped (LP-failed) subtree is missing from open_bounds_; closure
+  // claims based on the open set are unsound then.
+  if (any_lp_failure_) return false;
+  const double own = OwnIncumbentLocked();
+  const double effective = std::min(own, ExternalBound(options_));
+  if (!std::isfinite(effective)) return false;
+  const double bound =
+      open_bounds_.empty() ? effective : *open_bounds_.begin();
+  if (!WithinGap(effective, bound, options_.relative_gap + 1e-12)) {
+    return false;
+  }
+  if (effective < own) pruned_by_external_ = true;
+  return true;
+}
+
+void ParallelBranchAndBound::Dive(
+    std::vector<std::pair<double, double>> bounds, LpResult lp) {
+  const int max_depth = model_.num_variables() + 8;
+  long iterations = 0;
+  for (int depth = 0; depth < max_depth; ++depth) {
+    if (deadline_.Expired() || Cancelled(options_)) break;
+    int best = -1;
+    double best_dist = 0.5 + 1e-9;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      if (!model_.variable(j).is_integer) continue;
+      const double frac = lp.values[j] - std::floor(lp.values[j]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > 1e-6 && dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (best < 0) {
+      OfferIncumbent(lp.values);
+      break;
+    }
+    const double rounded = std::round(lp.values[best]);
+    bounds[best] = {rounded, rounded};
+    SimplexOptions lp_options = options_.lp_options;
+    if (deadline_.HasLimit()) {
+      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
+    }
+    lp = SolveLp(model_, lp_options, &bounds);
+    iterations += lp.iterations;
+    if (lp.status != LpStatus::kOptimal) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (have_incumbent_ && lp.objective >= incumbent_obj_) break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  lp_iterations_ += iterations;
+}
+
+void ParallelBranchAndBound::ProcessNode(
+    const std::shared_ptr<const PNode>& node,
+    std::vector<std::pair<double, double>>& bounds) {
+  MaterializeBounds(*node, bounds);
+  SimplexOptions lp_options = options_.lp_options;
+  if (deadline_.HasLimit()) {
+    lp_options.time_limit_seconds = deadline_.RemainingSeconds();
+  }
+  LpResult lp = SolveLp(model_, lp_options, &bounds);
+
+  bool want_dive = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lp_iterations_ += lp.iterations;
+    if (lp.status == LpStatus::kInfeasible) {
+      EraseOpenBoundLocked(node->bound);
+      return;
+    }
+    if (lp.status == LpStatus::kUnbounded) {
+      VPART_LOG(Warning) << "LP relaxation unbounded at node";
+      EraseOpenBoundLocked(node->bound);
+      return;
+    }
+    if (lp.status != LpStatus::kOptimal) {
+      any_lp_failure_ = true;
+      EraseOpenBoundLocked(node->bound);
+      return;
+    }
+    if (node->id == 0) root_bound_ = lp.objective;
+    if (PruneBoundLocked(lp.objective)) {
+      EraseOpenBoundLocked(node->bound);
+      return;
+    }
+    want_dive = options_.enable_dive &&
+                (node->id == 0 ||
+                 (!have_incumbent_ && nodes_processed_ % 50 == 0));
+  }
+
+  const int branch_var =
+      MostFractionalVariable(model_, options_.integrality_tol, lp.values);
+  if (branch_var < 0) {
+    OfferIncumbent(lp.values);
+    std::lock_guard<std::mutex> lock(mu_);
+    EraseOpenBoundLocked(node->bound);
+    return;
+  }
+
+  // Primal rounding dive; one at a time across the workers is plenty.
+  if (want_dive && !diving_.exchange(true)) {
+    Dive(bounds, lp);
+    diving_.store(false);
+  }
+
+  const double value = lp.values[branch_var];
+  const double floor_value = std::floor(value);
+
+  auto down = std::make_shared<PNode>();
+  down->parent = node;
+  down->var = branch_var;
+  down->lower = bounds[branch_var].first;
+  down->upper = floor_value;
+  down->bound = lp.objective;
+  down->depth = node->depth + 1;
+
+  auto up = std::make_shared<PNode>();
+  up->parent = node;
+  up->var = branch_var;
+  up->lower = floor_value + 1.0;
+  up->upper = bounds[branch_var].second;
+  up->bound = lp.objective;
+  up->depth = node->depth + 1;
+
+  // The LP-preferred child gets the smaller id: equal bounds pop in
+  // plunge order, mirroring the serial search's exploration bias.
+  const bool prefer_up = (value - floor_value) > 0.5;
+  std::shared_ptr<PNode> first = prefer_up ? up : down;
+  std::shared_ptr<PNode> second = prefer_up ? down : up;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  first->id = ++next_id_;
+  second->id = ++next_id_;
+  open_.insert({first->bound, first->id, std::move(first)});
+  open_bounds_.insert(lp.objective);
+  open_.insert({second->bound, second->id, std::move(second)});
+  open_bounds_.insert(lp.objective);
+  EraseOpenBoundLocked(node->bound);
+  cv_.notify_all();
+}
+
+void ParallelBranchAndBound::Worker() {
+  std::vector<std::pair<double, double>> bounds(model_.num_variables());
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) break;
+    if (deadline_.Expired() || Cancelled(options_) ||
+        (options_.max_nodes > 0 && nodes_processed_ >= options_.max_nodes)) {
+      limit_hit_ = true;
+      stop_ = true;
+      cv_.notify_all();
+      break;
+    }
+    if (GapClosedLocked()) {
+      closed_ = true;
+      stop_ = true;
+      cv_.notify_all();
+      break;
+    }
+    if (open_.empty()) {
+      if (active_ == 0) {
+        stop_ = true;
+        cv_.notify_all();
+        break;
+      }
+      // Timed wait so deadlines/cancellation are noticed while idle.
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      continue;
+    }
+    auto it = open_.begin();
+    std::shared_ptr<const PNode> node = it->node;
+    open_.erase(it);
+    if (PruneBoundLocked(node->bound)) {
+      EraseOpenBoundLocked(node->bound);
+      continue;
+    }
+    ++nodes_processed_;
+    ++active_;
+    lock.unlock();
+    ProcessNode(node, bounds);
+    lock.lock();
+    --active_;
+    cv_.notify_all();
+  }
+}
+
+MipResult ParallelBranchAndBound::Run() {
+  Stopwatch watch;
+  MipResult result;
+
+  if (options_.initial_solution != nullptr) {
+    const std::vector<double>& x0 = *options_.initial_solution;
+    if (model_.CheckFeasible(x0, 1e-6).ok()) {
+      OfferIncumbent(x0);
+    } else {
+      VPART_LOG(Warning) << "warm-start solution rejected as infeasible";
+    }
+  }
+
+  auto root = std::make_shared<PNode>();
+  root->bound = -kLpInfinity;
+  open_.insert({root->bound, root->id, root});
+  open_bounds_.insert(root->bound);
+
+  {
+    ThreadPool pool(options_.num_threads);
+    std::vector<std::future<void>> workers;
+    workers.reserve(pool.size());
+    for (int i = 0; i < pool.size(); ++i) {
+      workers.push_back(pool.Submit([this]() { Worker(); }));
+    }
+    for (auto& worker : workers) worker.get();
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  result.nodes = nodes_processed_;
+  result.lp_iterations = lp_iterations_;
+
+  const bool exhausted_tree = open_.empty();
+  double open_min = kLpInfinity;
+  if (!open_bounds_.empty()) open_min = *open_bounds_.begin();
+  if (exhausted_tree && !limit_hit_ && !any_lp_failure_) {
+    // Externally pruned subtrees were only proven >= the shared bound.
+    double proven = have_incumbent_ ? incumbent_obj_ : kLpInfinity;
+    if (pruned_by_external_) {
+      proven = std::min(proven, ExternalBound(options_));
+    }
+    result.best_bound = proven;
+  } else {
+    result.best_bound = std::isfinite(open_min) ? open_min : root_bound_;
+  }
+
+  if (have_incumbent_) {
+    result.objective = incumbent_obj_;
+    result.values = incumbent_;
+  }
+  closed_ = closed_ || GapClosedLocked();  // workers joined; lock not needed
+  const bool clean = exhausted_tree && !limit_hit_ && !any_lp_failure_;
+  FinalizeStatus(have_incumbent_, incumbent_obj_, ExternalBound(options_),
+                 clean, closed_, pruned_by_external_, result);
+  return result;
 }
 
 }  // namespace
 
 MipResult SolveMip(const LpModel& model, const MipOptions& options) {
+  if (options.num_threads > 1) {
+    ParallelBranchAndBound solver(model, options);
+    return solver.Run();
+  }
   BranchAndBound solver(model, options);
   return solver.Run();
 }

@@ -1,6 +1,7 @@
 #ifndef VPART_MIP_BRANCH_AND_BOUND_H_
 #define VPART_MIP_BRANCH_AND_BOUND_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,19 @@ struct MipOptions {
   /// root and periodically until an incumbent exists. Cheap primal
   /// heuristic standing in for the ones inside industrial solvers.
   bool enable_dive = true;
+  /// Tree-search workers. 1 keeps the classic depth-first serial search;
+  /// > 1 fans subproblem nodes out to a pool over a mutex-guarded
+  /// best-first queue with an atomic incumbent. The proven objective value
+  /// is thread-count-independent (see DESIGN.md's determinism contract).
+  int num_threads = 1;
+  /// Externally shared incumbent objective (e.g. a racing SA solver's best,
+  /// in the model's own objective space). Nodes whose relaxation cannot
+  /// beat this value within `relative_gap` are pruned even before the tree
+  /// search finds its own incumbent. Ignored when null.
+  const std::atomic<double>* external_upper_bound = nullptr;
+  /// Cooperative cancellation: the search stops (like a deadline) once the
+  /// flag is true. Ignored when null.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 struct MipResult {
@@ -48,6 +62,15 @@ struct MipResult {
   long nodes = 0;
   long lp_iterations = 0;
   double seconds = 0.0;
+  /// The tree was searched to exhaustion (no deadline/node/cancel stop and
+  /// no LP failure dropped a node). Together with `pruned_by_external_bound`
+  /// this lets a portfolio conclude global optimality: an exhausted search
+  /// proves nothing beats min(own incumbent, external bound) within the gap.
+  bool search_exhausted = false;
+  /// Some node was pruned only thanks to `external_upper_bound` (a tighter
+  /// bound than the search's own incumbent). When true, kInfeasible means
+  /// "nothing better than the external bound", not literal infeasibility.
+  bool pruned_by_external_bound = false;
 
   bool has_incumbent() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;

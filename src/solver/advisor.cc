@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/portfolio.h"
 #include "solver/attribute_groups.h"
 #include "solver/exhaustive_solver.h"
 #include "solver/incremental_solver.h"
@@ -17,6 +18,12 @@ using Algorithm = AdvisorOptions::Algorithm;
 Algorithm PickAlgorithm(const Instance& instance,
                         const AdvisorOptions& options) {
   if (options.algorithm != Algorithm::kAuto) return options.algorithm;
+  // A caller granting threads wants them used: race the solvers. Latency
+  // opts out — only the dedicated ILP path prices the Appendix-A term, and
+  // auto-switching objectives with the thread count would surprise.
+  if (options.num_threads > 1 && options.latency_penalty <= 0) {
+    return Algorithm::kPortfolio;
+  }
   const int num_t = instance.num_transactions();
   // Enumerating site assignments is exact and instant for small |T|.
   if (num_t <= 9) return Algorithm::kExhaustive;
@@ -103,6 +110,7 @@ StatusOr<AdvisorResult> AdvisePartitioning(const Instance& instance,
       sa.seed = options.seed;
       sa.allow_replication = options.allow_replication;
       sa.time_limit_seconds = options.time_limit_seconds;
+      sa.max_restarts = options.sa_max_restarts;
       SaResult result = SolveWithSa(cost_model, options.num_sites, sa);
       reduced_solution = std::move(result.partitioning);
       algorithm_name = "sa";
@@ -117,6 +125,22 @@ StatusOr<AdvisorResult> AdvisePartitioning(const Instance& instance,
           SolveIncrementally(cost_model, options.num_sites, inc);
       reduced_solution = std::move(result.partitioning);
       algorithm_name = "incremental";
+      break;
+    }
+    case Algorithm::kPortfolio: {
+      PortfolioOptions portfolio;
+      portfolio.num_sites = options.num_sites;
+      portfolio.allow_replication = options.allow_replication;
+      portfolio.time_limit_seconds = options.time_limit_seconds;
+      portfolio.relative_gap = options.mip_gap;
+      portfolio.seed = options.seed;
+      portfolio.num_threads = options.num_threads;
+      StatusOr<PortfolioResult> raced =
+          SolvePortfolio(cost_model, portfolio);
+      VPART_RETURN_IF_ERROR(raced.status());
+      reduced_solution = std::move(raced->partitioning);
+      algorithm_name = "portfolio(" + raced->winner + ")";
+      proven_optimal = raced->proven_optimal;
       break;
     }
     case Algorithm::kAuto:

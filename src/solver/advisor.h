@@ -15,14 +15,22 @@ namespace vpart {
 /// API a downstream user of the library would call.
 struct AdvisorOptions {
   enum class Algorithm {
-    kAuto,        // exhaustive for tiny, ILP for small, SA otherwise
+    kAuto,        // exhaustive for tiny, ILP for small, SA otherwise;
+                  // portfolio whenever num_threads > 1
     kIlp,         // the paper's QP solver
     kSa,          // the paper's SA heuristic
     kExhaustive,  // exact enumeration (small |T| only)
     kIncremental, // §4's 20/80 iterative heuristic
+    kPortfolio,   // engine/portfolio.h: ILP, SA and incremental race
+                  // concurrently, sharing their best incumbent
   };
 
   int num_sites = 2;
+  /// Worker threads for the portfolio race (and its branch & bound);
+  /// 1 keeps every path single-threaded. With kAuto, any value > 1
+  /// selects kPortfolio. For whole-schema many-table concurrency see
+  /// engine/batch_advisor.h.
+  int num_threads = 1;
   CostParams cost;  // p and λ
   Algorithm algorithm = Algorithm::kAuto;
   bool allow_replication = true;
@@ -30,12 +38,19 @@ struct AdvisorOptions {
   bool use_attribute_grouping = true;
   /// Appendix A: per-query latency penalty p_l added to the objective for
   /// write queries touching remote replicas. 0 disables the extension.
-  /// Honored exactly by the ILP path; the heuristic paths optimize the base
-  /// objective and report the latency exposure of their result.
+  /// Honored exactly by the ILP path; the heuristic paths — including
+  /// kPortfolio, whose lanes share one latency-free bound — optimize the
+  /// base objective and report the latency exposure of their result.
+  /// (kAuto therefore never picks the portfolio when this is set.)
   double latency_penalty = 0.0;
   double time_limit_seconds = 30.0;
   double mip_gap = 0.001;
   uint64_t seed = 1;
+  /// Restart cap for the kSa path (SaOptions::max_restarts). Raise it
+  /// (e.g. to 1 << 20) to make an SA solve consume its whole
+  /// `time_limit_seconds` budget — what a wall-clock-bound batch or bench
+  /// wants; the default keeps solves short on small instances.
+  int sa_max_restarts = 6;
 };
 
 struct AdvisorResult {

@@ -28,6 +28,8 @@ IlpSolveResult SolveWithIlp(const CostModel& cost_model,
   result.nodes = mip.nodes;
   result.best_bound = mip.best_bound;
   result.gap_percent = mip.GapPercent();
+  result.search_exhausted = mip.search_exhausted;
+  result.pruned_by_external_bound = mip.pruned_by_external_bound;
   if (mip.has_incumbent()) {
     Partitioning p = formulation.ExtractPartitioning(mip.values);
     Status feasible = ValidatePartitioning(

@@ -36,6 +36,11 @@ struct IlpSolveResult {
   double seconds = 0.0;
   long nodes = 0;
   std::optional<Partitioning> partitioning;
+  /// Mirrors of MipResult's proof flags (see mip/branch_and_bound.h): the
+  /// tree search finished its proof, and whether an externally shared
+  /// incumbent bound (portfolio racing) contributed cuts.
+  bool search_exhausted = false;
+  bool pruned_by_external_bound = false;
 
   bool ok() const { return partitioning.has_value(); }
   bool timed_out() const {

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace vpart {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes sink writes so messages from concurrent pool workers cannot
+// interleave mid-line (each message is one fprintf, but stdio only
+// guarantees atomicity per call on POSIX — keep it explicit and portable).
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -47,7 +56,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

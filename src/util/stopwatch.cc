@@ -1,4 +1,14 @@
 #include "util/stopwatch.h"
 
-// Header-only today; this translation unit anchors the library target and
-// keeps a stable place for future non-inline timing helpers.
+// Header-only; this translation unit anchors the library target and keeps a
+// stable place for future non-inline timing helpers. The start instant is an
+// atomic nanosecond count so Reset()/ElapsedSeconds() are safe from
+// concurrent pool workers (a plain time_point would be a data race).
+
+#include <type_traits>
+
+namespace vpart {
+static_assert(std::is_copy_constructible<Stopwatch>::value &&
+                  std::is_copy_assignable<Stopwatch>::value,
+              "Stopwatch must stay copyable for embedding in options/results");
+}  // namespace vpart

@@ -1,21 +1,34 @@
 #ifndef VPART_UTIL_STOPWATCH_H_
 #define VPART_UTIL_STOPWATCH_H_
 
+#include <atomic>
 #include <chrono>
 
 namespace vpart {
 
 /// Monotonic wall-clock stopwatch used for solver time limits and reporting.
+/// Thread-safe: one thread may Reset() while pool workers concurrently read
+/// ElapsedSeconds() (the start instant is a single atomic tick count).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(NowNanos()) {}
+
+  Stopwatch(const Stopwatch& other)
+      : start_ns_(other.start_ns_.load(std::memory_order_relaxed)) {}
+  Stopwatch& operator=(const Stopwatch& other) {
+    start_ns_.store(other.start_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_.store(NowNanos(), std::memory_order_relaxed); }
 
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(NowNanos() -
+                               start_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
@@ -23,11 +36,19 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<int64_t> start_ns_;
 };
 
 /// Deadline helper: `Expired()` is false forever when constructed with a
-/// non-positive limit (meaning "no limit").
+/// non-positive limit (meaning "no limit"). Safe to poll from many threads
+/// concurrently (the limit is immutable, the stopwatch reads are atomic).
 class Deadline {
  public:
   explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}

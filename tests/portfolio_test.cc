@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "engine/portfolio.h"
+#include "instances/random_instance.h"
+#include "mip/branch_and_bound.h"
+#include "solver/advisor.h"
+#include "solver/exhaustive_solver.h"
+#include "solver/ilp_solver.h"
+#include "util/rng.h"
+
+namespace vpart {
+namespace {
+
+RandomInstanceParams SmallParams(uint64_t seed) {
+  RandomInstanceParams params;
+  params.num_transactions = 4;
+  params.num_tables = 3;
+  params.max_attributes_per_table = 4;
+  params.update_percent = 25;
+  params.seed = seed;
+  return params;
+}
+
+// The portfolio's winner can never be worse than any lane that finished:
+// every lane publishes into the shared incumbent the winner is read from.
+TEST(PortfolioTest, WinnerIsNoWorseThanAnyLane) {
+  Instance instance = MakeRandomInstance(SmallParams(11));
+  CostModel model(&instance, {.p = 8, .lambda = 0.1});
+  PortfolioOptions options;
+  options.num_sites = 2;
+  options.time_limit_seconds = 3.0;
+  options.num_threads = 3;
+  StatusOr<PortfolioResult> result = SolvePortfolio(model, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->lanes.empty());
+  for (const PortfolioLane& lane : result->lanes) {
+    if (!lane.has_solution) continue;
+    EXPECT_LE(result->scalarized, lane.scalarized + 1e-9)
+        << "lane " << lane.name;
+  }
+  EXPECT_FALSE(result->winner.empty());
+}
+
+// With gap 0 and enough time the race must prove the exhaustive optimum
+// (λ = 0 makes the exhaustive result a true optimum of the objective).
+TEST(PortfolioTest, ProvesExhaustiveOptimumOnSmallInstances) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Instance instance = MakeRandomInstance(SmallParams(seed));
+    CostModel model(&instance, {.p = 8, .lambda = 0.0});
+
+    ExhaustiveOptions ex;
+    ex.num_sites = 2;
+    ExhaustiveResult truth = SolveExhaustively(model, ex);
+    ASSERT_TRUE(truth.exact) << "seed " << seed;
+
+    PortfolioOptions options;
+    options.num_sites = 2;
+    options.time_limit_seconds = 30.0;
+    options.relative_gap = 0.0;
+    options.num_threads = 2;
+    options.seed = seed;
+    StatusOr<PortfolioResult> result = SolvePortfolio(model, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(result->cost, truth.cost, 1e-6 * (1 + truth.cost))
+        << "seed " << seed;
+  }
+}
+
+TEST(PortfolioTest, AdvisorRoutesThroughThePortfolio) {
+  Instance instance = MakeRandomInstance(SmallParams(21));
+  AdvisorOptions options;
+  options.num_sites = 2;
+  options.algorithm = AdvisorOptions::Algorithm::kPortfolio;
+  options.num_threads = 2;
+  options.time_limit_seconds = 5.0;
+  StatusOr<AdvisorResult> result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->algorithm_used.find("portfolio"), std::string::npos);
+  EXPECT_LE(result->cost, result->single_site_cost + 1e-9);
+}
+
+TEST(PortfolioTest, AutoSelectsPortfolioWhenThreadsGranted) {
+  Instance instance = MakeRandomInstance(SmallParams(22));
+  AdvisorOptions options;
+  options.num_sites = 2;
+  options.num_threads = 2;
+  options.time_limit_seconds = 3.0;
+  StatusOr<AdvisorResult> result = AdvisePartitioning(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->algorithm_used.find("portfolio"), std::string::npos);
+}
+
+// --- Parallel branch & bound -------------------------------------------
+
+MipOptions ExactMip(int threads) {
+  MipOptions options;
+  options.relative_gap = 0.0;
+  options.time_limit_seconds = 60;
+  options.num_threads = threads;
+  return options;
+}
+
+// The determinism contract: for a proving run, the objective value does
+// not depend on the thread count.
+TEST(ParallelMipTest, MatchesSerialObjectiveOnRandomBinaryPrograms) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 6 + static_cast<int>(rng.NextBounded(6));  // 6..11 vars
+    LpModel model;
+    for (int j = 0; j < n; ++j) {
+      model.AddBinaryVariable(std::round((rng.NextDouble() * 20 - 10) * 4) /
+                              4);
+    }
+    const int m = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        terms.emplace_back(j, std::round(rng.NextDouble() * 5 * 2) / 2);
+      }
+      model.AddConstraint(ConstraintSense::kLessEqual,
+                          std::round(rng.NextDouble() * n * 2.0 * 2) / 2,
+                          std::move(terms));
+    }
+    MipResult serial = SolveMip(model, ExactMip(1));
+    MipResult parallel = SolveMip(model, ExactMip(4));
+    ASSERT_EQ(serial.status, parallel.status) << "trial " << trial;
+    if (serial.has_incumbent()) {
+      EXPECT_NEAR(serial.objective, parallel.objective, 1e-6)
+          << "trial " << trial;
+    }
+    EXPECT_TRUE(parallel.search_exhausted) << "trial " << trial;
+  }
+}
+
+// End to end through the ILP formulation on seeded instances.
+TEST(ParallelMipTest, IlpParallelMatchesSerialOnSeededInstances) {
+  for (uint64_t seed = 31; seed <= 33; ++seed) {
+    Instance instance = MakeRandomInstance(SmallParams(seed));
+    CostModel model(&instance, {.p = 8, .lambda = 0.1});
+    IlpSolverOptions options;
+    options.formulation.num_sites = 2;
+    options.mip.relative_gap = 0;
+    options.mip.time_limit_seconds = 60;
+
+    options.mip.num_threads = 1;
+    IlpSolveResult serial = SolveWithIlp(model, options);
+    options.mip.num_threads = 4;
+    IlpSolveResult parallel = SolveWithIlp(model, options);
+
+    ASSERT_EQ(serial.status, MipStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(parallel.status, MipStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(parallel.scalarized, serial.scalarized,
+                1e-6 * (1 + std::abs(serial.scalarized)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ParallelMipTest, ExternalBoundBelowOptimumProvesNothingBetter) {
+  // Knapsack optimum is -23; an external bound of -25 dominates every
+  // node, so the search proves "nothing beats the external incumbent"
+  // and reports it via pruned_by_external_bound instead of kInfeasible
+  // meaning literal infeasibility.
+  LpModel model;
+  int x0 = model.AddBinaryVariable(-10);
+  int x1 = model.AddBinaryVariable(-13);
+  int x2 = model.AddBinaryVariable(-7);
+  int x3 = model.AddBinaryVariable(-8);
+  model.AddConstraint(ConstraintSense::kLessEqual, 7,
+                      {{x0, 3}, {x1, 4}, {x2, 2}, {x3, 3}});
+  std::atomic<double> external(-25.0);
+  for (int threads : {1, 4}) {
+    MipOptions options = ExactMip(threads);
+    options.enable_dive = false;
+    options.external_upper_bound = &external;
+    MipResult result = SolveMip(model, options);
+    EXPECT_FALSE(result.has_incumbent()) << threads << " threads";
+    EXPECT_TRUE(result.pruned_by_external_bound) << threads << " threads";
+    EXPECT_TRUE(result.search_exhausted) << threads << " threads";
+  }
+}
+
+TEST(ParallelMipTest, LooseExternalBoundDoesNotChangeTheOptimum) {
+  LpModel model;
+  int x0 = model.AddBinaryVariable(-10);
+  int x1 = model.AddBinaryVariable(-13);
+  model.AddConstraint(ConstraintSense::kLessEqual, 4, {{x0, 3}, {x1, 4}});
+  std::atomic<double> external(100.0);
+  for (int threads : {1, 4}) {
+    MipOptions options = ExactMip(threads);
+    options.external_upper_bound = &external;
+    MipResult result = SolveMip(model, options);
+    ASSERT_EQ(result.status, MipStatus::kOptimal) << threads << " threads";
+    EXPECT_NEAR(result.objective, -13, 1e-6) << threads << " threads";
+    EXPECT_FALSE(result.pruned_by_external_bound) << threads << " threads";
+  }
+}
+
+TEST(ParallelMipTest, CancelFlagStopsTheSearch) {
+  LpModel model;
+  for (int j = 0; j < 12; ++j) model.AddBinaryVariable(-1 - 0.1 * j);
+  std::vector<std::pair<int, double>> terms;
+  for (int j = 0; j < 12; ++j) terms.emplace_back(j, 1.0 + 0.01 * j);
+  model.AddConstraint(ConstraintSense::kLessEqual, 6.05, std::move(terms));
+  std::atomic<bool> cancel(true);  // cancelled before the search starts
+  for (int threads : {1, 4}) {
+    MipOptions options = ExactMip(threads);
+    options.enable_dive = false;
+    options.cancel_flag = &cancel;
+    MipResult result = SolveMip(model, options);
+    EXPECT_EQ(result.status, MipStatus::kNoSolution)
+        << threads << " threads";
+    EXPECT_FALSE(result.search_exhausted) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace vpart

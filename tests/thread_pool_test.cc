@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.h"
+
+namespace vpart {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  ThreadPool pool;  // default-sized pool constructs and joins cleanly
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughTheFuture) {
+  ThreadPool pool(2);
+  std::future<void> future = pool.Submit(
+      []() { throw std::runtime_error("lane failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // A worker fans out subtasks and only waits on them collectively from
+  // the outside (workers must never block on their own pool).
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> inner;
+  std::mutex inner_mu;
+  pool.Submit([&]() {
+        EXPECT_GE(pool.CurrentWorkerIndex(), 0);
+        for (int i = 0; i < 16; ++i) {
+          std::lock_guard<std::mutex> lock(inner_mu);
+          inner.push_back(pool.Submit([&done]() { ++done; }));
+        }
+      })
+      .get();
+  {
+    std::lock_guard<std::mutex> lock(inner_mu);
+    for (auto& future : inner) future.get();
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, WorkIsStolenAcrossWorkers) {
+  // One external burst lands round-robin; workers that finish early steal
+  // from the loaded deques, so every task completes even when one task
+  // stalls its worker.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.Submit([]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }));
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&done]() { ++done; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, OffPoolThreadReportsNoWorkerIndex) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.CurrentWorkerIndex(), -1);
+}
+
+TEST(CancellationTokenTest, ManualCancelSharedAcrossCopies) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(copy.flag()->load());
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.flag()->load());
+}
+
+TEST(CancellationTokenTest, DeadlineExpiresAndLatchesTheFlag) {
+  CancellationToken token = CancellationToken::WithDeadline(0.05);
+  EXPECT_TRUE(token.HasDeadline());
+  EXPECT_FALSE(token.cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(token.cancelled());
+  // Expiry latched into the raw flag for observers that only see it.
+  EXPECT_TRUE(token.flag()->load());
+}
+
+TEST(CancellationTokenTest, NoDeadlineNeverExpires) {
+  CancellationToken token;
+  EXPECT_FALSE(token.HasDeadline());
+  EXPECT_GT(token.RemainingSeconds(), 1e6);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  for (auto& hit : hits) hit = 0;
+  ParallelFor(pool, 0, 200, [&](int i) { ++hits[i]; });
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, CancelSkipsNotYetStartedWork) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> ran{0};
+  ParallelFor(pool, 0, 100, [&](int) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForTest, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(pool, 0, 32,
+                  [](int i) {
+                    if (i % 7 == 3) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 5, 5, [](int) { FAIL() << "must not run"; });
+}
+
+}  // namespace
+}  // namespace vpart
