@@ -4,22 +4,34 @@
 // BENCH_*.json perf trajectory:
 //
 //   $ ./build/bench_parallel > BENCH_parallel.json
+//   $ ./build/bench_parallel --api > BENCH_api.json   # api-overhead only
 //
 // Per-table solves are wall-clock budgeted (VPART_SA_TIME_LIMIT_S, default
 // 0.25 s per table), so the measured speedup isolates the engine's
 // orchestration: N tables x budget serial vs ceil(N/threads) x budget
 // racing. The batch contract guarantees the advice itself is
 // thread-count-invariant for deterministic per-table algorithms.
+//
+// The --api section times the same fixed-work TPC-C whole-schema SA solve
+// through the three entry points (legacy AdvisePartitioning shim, direct
+// Advise(), and a full AdviseSession with event recording) to bound the
+// service API's overhead over the legacy call (<1% target).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/advise.h"
+#include "api/session.h"
 #include "bench_util.h"
 #include "engine/batch_advisor.h"
 #include "engine/portfolio.h"
 #include "solver/advisor.h"
+#include "util/stopwatch.h"
 
 namespace vpart::bench {
 namespace {
@@ -109,7 +121,94 @@ void EmitPortfolioSeries(const Instance& instance, double time_limit,
   std::printf("  ]");
 }
 
-int Main() {
+// --- service-API overhead vs the legacy shim -------------------------------
+
+/// One fixed-work solve: a restart-capped SA under a deadline it never
+/// reaches runs exactly `max_restarts + 2` anneals, so every entry point
+/// does the same computation (hundreds of ms — large enough that the
+/// session's one-time thread spawn must stay in the noise) and the delta
+/// is pure API overhead.
+AdvisorOptions FixedWorkOptions() {
+  AdvisorOptions options;
+  options.num_sites = 3;
+  options.algorithm = AdvisorOptions::Algorithm::kSa;
+  options.time_limit_seconds = 1e6;  // never reached
+  options.sa_max_restarts = 512;
+  options.seed = 7;
+  return options;
+}
+
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void EmitApiOverhead(const Instance& instance, int repetitions,
+                     bool& first_section) {
+  const AdvisorOptions options = FixedWorkOptions();
+  const AdviseRequest request = FromAdvisorOptions(options);
+
+  std::vector<double> legacy_s, advise_s, session_s;
+  double check_cost = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    {
+      Stopwatch watch;
+      auto result = AdvisePartitioning(instance, options);
+      legacy_s.push_back(watch.ElapsedSeconds());
+      if (result.ok()) check_cost = result->cost;
+    }
+    {
+      Stopwatch watch;
+      auto response = Advise(instance, request);
+      advise_s.push_back(watch.ElapsedSeconds());
+      if (response.ok() && std::abs(response->result.cost - check_cost) >
+                               1e-6 * std::abs(check_cost)) {
+        std::fprintf(stderr, "api-overhead: Advise cost diverged\n");
+      }
+    }
+    {
+      Stopwatch watch;
+      AdviseSession session(instance, request);
+      session.Start();
+      const auto& response = session.Wait();
+      session_s.push_back(watch.ElapsedSeconds());
+      if (response.ok() && std::abs(response->result.cost - check_cost) >
+                               1e-6 * std::abs(check_cost)) {
+        std::fprintf(stderr, "api-overhead: session cost diverged\n");
+      }
+    }
+  }
+
+  const double legacy = MedianSeconds(legacy_s);
+  const double advise = MedianSeconds(advise_s);
+  const double session = MedianSeconds(session_s);
+  if (!first_section) std::printf(",\n");
+  first_section = false;
+  std::printf("  \"api_overhead_tpcc\": {\n");
+  std::printf("    \"workload\": \"whole-schema SA, 514 anneals, seed 7\",\n");
+  std::printf("    \"repetitions\": %d,\n", repetitions);
+  std::printf("    \"legacy_shim_median_seconds\": %.6f,\n", legacy);
+  std::printf("    \"advise_median_seconds\": %.6f,\n", advise);
+  std::printf("    \"session_median_seconds\": %.6f,\n", session);
+  std::printf("    \"advise_overhead_percent\": %.3f,\n",
+              legacy > 0 ? 100.0 * (advise - legacy) / legacy : 0.0);
+  std::printf("    \"session_overhead_percent\": %.3f\n",
+              legacy > 0 ? 100.0 * (session - legacy) / legacy : 0.0);
+  std::printf("  }");
+}
+
+int Main(bool api_only) {
+  if (api_only) {
+    Instance tpcc = MakeTpccInstance();
+    bool first_section = true;
+    std::printf("{\n");
+    std::printf("  \"bench\": \"api\",\n");
+    std::printf("  \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+    EmitApiOverhead(tpcc, /*repetitions=*/7, first_section);
+    std::printf("\n}\n");
+    return 0;
+  }
   const double per_table_budget = SaTimeLimit(0.25);
 
   std::printf("{\n");
@@ -131,6 +230,8 @@ int Main() {
   EmitPortfolioSeries(tpcc, /*time_limit=*/8.0 * per_table_budget,
                       first_section);
 
+  EmitApiOverhead(tpcc, /*repetitions=*/5, first_section);
+
   std::printf("\n}\n");
   return 0;
 }
@@ -138,4 +239,7 @@ int Main() {
 }  // namespace
 }  // namespace vpart::bench
 
-int main() { return vpart::bench::Main(); }
+int main(int argc, char** argv) {
+  const bool api_only = argc > 1 && std::strcmp(argv[1], "--api") == 0;
+  return vpart::bench::Main(api_only);
+}

@@ -6,11 +6,11 @@
 //   $ ./build/examples/custom_workload my.vpi [sites]      # solve it
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
+#include "api/advise.h"
 #include "report/partition_report.h"
-#include "solver/advisor.h"
+#include "util/string_util.h"
 #include "workload/instance_io.h"
 
 namespace {
@@ -57,6 +57,13 @@ ref audit_scan account.id account.owner account.audit_log
 
 int main(int argc, char** argv) {
   using namespace vpart;
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf("usage: custom_workload [--template FILE] | [FILE [sites]]\n"
+                "  --template FILE  write a starter .vpi instance\n"
+                "  FILE [sites]     solve FILE for sites >= 1 (default 2)\n");
+    return 0;
+  }
   if (argc >= 3 && std::strcmp(argv[1], "--template") == 0) {
     std::FILE* out = std::fopen(argv[2], "w");
     if (out == nullptr) {
@@ -83,23 +90,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  AdvisorOptions options;
-  options.num_sites = argc >= 3 ? std::atoi(argv[2]) : 2;
-  auto result = AdvisePartitioning(instance.value(), options);
-  if (!result.ok()) {
+  AdviseRequest request;
+  if (argc >= 3) {
+    // Strict parse instead of atoi (which turns garbage into 0 silently).
+    if (!ParseInt(argv[2], &request.num_sites) || request.num_sites < 1) {
+      std::fprintf(stderr, "invalid sites '%s': need an integer >= 1\n",
+                   argv[2]);
+      return 2;
+    }
+  }
+  auto response = Advise(instance.value(), request);
+  if (!response.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
-                 result.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
 
+  const AdvisorResult& result = response->result;
   std::printf("instance %s: %d attributes, %d transactions\n",
               instance->name().c_str(), instance->num_attributes(),
               instance->num_transactions());
   std::printf("algorithm %s: cost %.0f vs single-site %.0f (%.1f%% saved)\n\n",
-              result->algorithm_used.c_str(), result->cost,
-              result->single_site_cost, result->reduction_percent);
+              result.algorithm_used.c_str(), result.cost,
+              result.single_site_cost, result.reduction_percent);
   std::printf("%s", RenderPartitionTable(instance.value(),
-                                         result->partitioning)
+                                         result.partitioning)
                         .c_str());
   return 0;
 }

@@ -7,10 +7,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
+#include "api/advise.h"
 #include "instances/tpcc.h"
 #include "report/table_printer.h"
-#include "solver/advisor.h"
 #include "solver/latency.h"
 #include "util/string_util.h"
 
@@ -18,14 +19,15 @@ namespace {
 
 using namespace vpart;
 
-AdvisorResult MustAdvise(const Instance& instance, AdvisorOptions options) {
-  auto result = AdvisePartitioning(instance, options);
-  if (!result.ok()) {
+AdvisorResult MustAdvise(const Instance& instance,
+                         const AdviseRequest& request) {
+  auto response = Advise(instance, request);
+  if (!response.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
-                 result.status().ToString().c_str());
+                 response.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(result.value());
+  return std::move(response.value().result);
 }
 
 }  // namespace
@@ -38,7 +40,7 @@ int main() {
     TablePrinter table({"sites", "cost", "reduction", "read", "write",
                         "p*transfer", "max replicas"});
     for (int sites = 1; sites <= 5; ++sites) {
-      AdvisorOptions options;
+      AdviseRequest options;
       options.num_sites = sites;
       AdvisorResult result = MustAdvise(tpcc, options);
       int max_replicas = 0;
@@ -63,7 +65,7 @@ int main() {
   {
     TablePrinter table({"p", "cost", "transfer bytes", "replicated attrs"});
     for (double p : {0.0, 1.0, 3.0, 8.0, 32.0, 128.0}) {
-      AdvisorOptions options;
+      AdviseRequest options;
       options.num_sites = 3;
       options.cost.p = p;
       AdvisorResult result = MustAdvise(tpcc, options);
@@ -83,7 +85,7 @@ int main() {
   {
     TablePrinter table({"lambda", "cost", "max load", "min load"});
     for (double lambda : {0.0, 0.1, 0.5, 0.9, 1.0}) {
-      AdvisorOptions options;
+      AdviseRequest options;
       options.num_sites = 3;
       options.cost.lambda = lambda;
       AdvisorResult result = MustAdvise(tpcc, options);
@@ -108,7 +110,7 @@ int main() {
     TablePrinter table(
         {"mode", "cost", "latency penalties (p_l=1)", "write psi=1"});
     for (bool replication : {true, false}) {
-      AdvisorOptions options;
+      AdviseRequest options;
       options.num_sites = 3;
       options.allow_replication = replication;
       AdvisorResult result = MustAdvise(tpcc, options);

@@ -1,7 +1,8 @@
 // Quickstart: define a tiny schema + workload by hand, ask the advisor for
-// a two-site vertical partitioning, and print what it found.
+// a two-site vertical partitioning through the service API, and print what
+// it found.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart [sites]     # sites >= 1, default 2
 //
 // The workload models a toy webshop: a busy `PlaceOrder` transaction that
 // reads a narrow slice of `users` and writes `orders`, and a rare
@@ -10,13 +11,35 @@
 // hot path.
 
 #include <cstdio>
+#include <cstring>
 
+#include "api/advise.h"
 #include "report/partition_report.h"
-#include "solver/advisor.h"
+#include "util/string_util.h"
 #include "workload/instance.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpart;
+
+  // --- arguments ----------------------------------------------------------
+  int num_sites = 2;
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    std::printf("usage: quickstart [sites]\n  sites  >= 1 (default 2)\n");
+    return 0;
+  }
+  if (argc > 2) {
+    std::fprintf(stderr, "too many arguments (usage: quickstart [sites])\n");
+    return 2;
+  }
+  if (argc > 1) {
+    // Strict parse: atoi would silently turn "abc" or "-1" into nonsense.
+    if (!ParseInt(argv[1], &num_sites) || num_sites < 1) {
+      std::fprintf(stderr, "invalid sites '%s': need an integer >= 1\n",
+                   argv[1]);
+      return 2;
+    }
+  }
 
   InstanceBuilder builder("webshop");
 
@@ -58,30 +81,32 @@ int main() {
   }
 
   // --- solve --------------------------------------------------------------
-  AdvisorOptions options;
-  options.num_sites = 2;
-  options.cost.p = 8;        // 10-gigabit interconnect (paper §5)
-  options.cost.lambda = 0.1; // mostly cost, load balance breaks ties
-  auto result = AdvisePartitioning(instance.value(), options);
-  if (!result.ok()) {
+  AdviseRequest request;
+  request.num_sites = num_sites;
+  request.cost.p = 8;        // 10-gigabit interconnect (paper §5)
+  request.cost.lambda = 0.1; // mostly cost, load balance breaks ties
+  auto response = Advise(instance.value(), request);
+  if (!response.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
-                 result.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
 
   // --- report -------------------------------------------------------------
-  std::printf("algorithm: %s%s\n", result->algorithm_used.c_str(),
-              result->proven_optimal ? " (proven optimal)" : "");
+  const AdvisorResult& result = response->result;
+  std::printf("solver: %s (%s)%s\n", response->solver_used.c_str(),
+              result.algorithm_used.c_str(),
+              result.proven_optimal ? " (proven optimal)" : "");
   std::printf("single-site cost : %.0f bytes/unit-time\n",
-              result->single_site_cost);
+              result.single_site_cost);
   std::printf("partitioned cost : %.0f bytes/unit-time (%.1f%% saved)\n\n",
-              result->cost, result->reduction_percent);
+              result.cost, result.reduction_percent);
   std::printf("%s", RenderPartitionTable(instance.value(),
-                                         result->partitioning)
+                                         result.partitioning)
                         .c_str());
 
-  CostModel model(&instance.value(), options.cost);
-  std::printf("%s", RenderPartitionSummary(model, result->partitioning)
+  CostModel model(&instance.value(), request.cost);
+  std::printf("%s", RenderPartitionSummary(model, result.partitioning)
                         .c_str());
   return 0;
 }

@@ -1,59 +1,130 @@
 // Partitioning advisor for the TPC-C workload — the paper's flagship
-// experiment as a runnable tool.
+// experiment as a runnable tool, driven through the service API
+// (AdviseSession + SolverRegistry).
 //
-//   $ ./build/tpcc_advisor [sites] [p] [lambda] [algorithm] [threads]
+//   $ ./build/tpcc_advisor [sites] [p] [lambda] [solver] [threads]
 //
-//   sites      number of sites (default 3)
-//   p          network penalty factor (default 8; 0 = local placement)
+//   sites      number of sites, >= 1 (default 3)
+//   p          network penalty factor, >= 0 (default 8; 0 = local placement)
 //   lambda     load-balancing weight in [0,1] (default 0.1)
-//   algorithm  auto | ilp | sa | exhaustive | incremental | portfolio |
+//   solver     auto | ilp | sa | exhaustive | incremental | portfolio |
 //              batch (default auto). `portfolio` races ILP/SA/incremental
 //              concurrently on one whole-schema solve; `batch` advises all
 //              nine tables concurrently, one solve per table (the paper's
 //              per-table setup).
-//   threads    worker threads (default 1; auto picks portfolio when > 1)
+//   threads    worker threads, >= 1 (default 1; auto picks the portfolio
+//              when > 1)
 //
-// Prints the Table-4 style site layout plus the cost breakdown.
+// Incumbent improvements stream to stderr while the solve runs; the final
+// Table-4 style site layout plus the cost breakdown print to stdout.
 
+#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "api/session.h"
+#include "api/solver_registry.h"
 #include "engine/batch_advisor.h"
 #include "instances/tpcc.h"
 #include "report/partition_report.h"
-#include "solver/advisor.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace vpart;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: tpcc_advisor [sites] [p] [lambda] [solver] "
+               "[threads]\n"
+               "  sites    >= 1 (default 3)\n"
+               "  p        >= 0 (default 8)\n"
+               "  lambda   in [0,1] (default 0.1)\n"
+               "  solver   auto | %s | batch (default auto)\n"
+               "  threads  >= 1 (default 1)\n",
+               JoinStrings(SolverRegistry::Global().Names(), " | ").c_str());
+}
+
+/// Strict positional-int parse: rejects garbage, enforces a minimum
+/// (std::atoi would silently turn "abc" or "-3" into nonsense).
+bool ParseArgInt(const char* arg, const char* name, int min_value, int* out) {
+  if (!ParseInt(arg, out) || *out < min_value) {
+    std::fprintf(stderr, "invalid %s '%s': need an integer >= %d\n", name,
+                 arg, min_value);
+    return false;
+  }
+  return true;
+}
+
+bool ParseArgDouble(const char* arg, const char* name, double min_value,
+                    double max_value, double* out) {
+  if (!ParseDouble(arg, out) || *out < min_value || *out > max_value) {
+    std::fprintf(stderr, "invalid %s '%s': need a number in [%g, %g]\n",
+                 name, arg, min_value, max_value);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace vpart;
-
-  AdvisorOptions options;
-  options.num_sites = argc > 1 ? std::atoi(argv[1]) : 3;
-  options.cost.p = argc > 2 ? std::atof(argv[2]) : 8.0;
-  options.cost.lambda = argc > 3 ? std::atof(argv[3]) : 0.1;
-  bool batch = false;
-  if (argc > 4) {
-    const std::string name = argv[4];
-    if (name == "ilp") {
-      options.algorithm = AdvisorOptions::Algorithm::kIlp;
-    } else if (name == "sa") {
-      options.algorithm = AdvisorOptions::Algorithm::kSa;
-    } else if (name == "exhaustive") {
-      options.algorithm = AdvisorOptions::Algorithm::kExhaustive;
-    } else if (name == "incremental") {
-      options.algorithm = AdvisorOptions::Algorithm::kIncremental;
-    } else if (name == "portfolio") {
-      options.algorithm = AdvisorOptions::Algorithm::kPortfolio;
-    } else if (name == "batch") {
-      batch = true;
-    } else if (name != "auto") {
-      std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (argv[i][0] == '-' &&
+        !std::isdigit(static_cast<unsigned char>(argv[i][1]))) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      PrintUsage(stderr);
       return 2;
     }
   }
-  const int threads = argc > 5 ? std::atoi(argv[5]) : 1;
-  options.num_threads = threads > 0 ? threads : 1;
+  if (argc > 6) {
+    std::fprintf(stderr, "too many arguments\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  AdviseRequest request;
+  request.num_sites = 3;
+  request.cost.p = 8.0;
+  request.cost.lambda = 0.1;
+  bool batch = false;
+  if (argc > 1 &&
+      !ParseArgInt(argv[1], "sites", 1, &request.num_sites)) {
+    return 2;
+  }
+  if (argc > 2 &&
+      !ParseArgDouble(argv[2], "p", 0.0, 1e9, &request.cost.p)) {
+    return 2;
+  }
+  if (argc > 3 &&
+      !ParseArgDouble(argv[3], "lambda", 0.0, 1.0, &request.cost.lambda)) {
+    return 2;
+  }
+  if (argc > 4) {
+    const std::string name = argv[4];
+    if (name == "batch") {
+      batch = true;
+    } else if (name == kSolverAuto ||
+               SolverRegistry::Global().Contains(name)) {
+      request.solver = name;
+    } else {
+      std::fprintf(stderr, "unknown solver: %s (available: auto, %s, "
+                           "batch)\n",
+                   name.c_str(),
+                   JoinStrings(SolverRegistry::Global().Names(), ", ")
+                       .c_str());
+      return 2;
+    }
+  }
+  int threads = 1;
+  if (argc > 5 && !ParseArgInt(argv[5], "threads", 1, &threads)) return 2;
+  request.num_threads = threads;
 
   Instance tpcc = MakeTpccInstance();
   std::printf("TPC-C v5: %d tables, %d attributes, %d transactions, "
@@ -62,17 +133,17 @@ int main(int argc, char** argv) {
               tpcc.num_transactions(), tpcc.num_queries());
   std::printf("solving for %d sites, p = %g, lambda = %g, %d thread(s) "
               "...\n\n",
-              options.num_sites, options.cost.p, options.cost.lambda,
-              options.num_threads);
+              request.num_sites, request.cost.p, request.cost.lambda,
+              request.num_threads);
 
   if (batch) {
     // Whole-schema batch mode: one independent solve per table, all tables
     // advised concurrently on the engine's pool.
-    BatchAdvisorOptions batch_options;
-    batch_options.advisor = options;
-    batch_options.advisor.num_threads = 1;  // concurrency across tables
-    batch_options.num_threads = options.num_threads;
-    auto advised = AdviseSchema(tpcc, batch_options);
+    BatchAdviseRequest batch_request;
+    batch_request.request = request;
+    batch_request.request.num_threads = 1;  // concurrency across tables
+    batch_request.table_threads = request.num_threads;
+    auto advised = AdviseSchema(tpcc, batch_request);
     if (!advised.ok()) {
       std::fprintf(stderr, "batch advisor failed: %s\n",
                    advised.status().ToString().c_str());
@@ -101,21 +172,38 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto result = AdvisePartitioning(tpcc, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "advisor failed: %s\n",
-                 result.status().ToString().c_str());
+  // Async session: incumbents stream to stderr as the solvers find them.
+  AdviseSession session(tpcc, request);
+  session.OnIncumbent([](const IncumbentEvent& event) {
+    std::fprintf(stderr, "  [%6.2fs] %-11s incumbent cost %.0f\n",
+                 event.elapsed, event.source.c_str(), event.cost);
+  });
+  Status started = session.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "session start failed: %s\n",
+                 started.ToString().c_str());
     return 1;
   }
+  const StatusOr<AdviseResponse>& response = session.Wait();
+  if (!response.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& warning : response->warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
 
-  std::printf("%s", RenderPartitionTable(tpcc, result->partitioning).c_str());
-  CostModel model(&tpcc, options.cost);
-  std::printf("%s\n", RenderPartitionSummary(model, result->partitioning)
+  const AdvisorResult& result = response->result;
+  std::printf("%s", RenderPartitionTable(tpcc, result.partitioning).c_str());
+  CostModel model(&tpcc, request.cost);
+  std::printf("%s\n", RenderPartitionSummary(model, result.partitioning)
                           .c_str());
-  std::printf("algorithm %s solved in %.2fs%s\n",
-              result->algorithm_used.c_str(), result->seconds,
-              result->proven_optimal ? " (proven optimal)" : "");
+  std::printf("solver %s (%s) solved in %.2fs%s\n",
+              response->solver_used.c_str(), result.algorithm_used.c_str(),
+              result.seconds,
+              result.proven_optimal ? " (proven optimal)" : "");
   std::printf("cost reduction vs single site: %.1f%% (paper: 37%%)\n",
-              result->reduction_percent);
+              result.reduction_percent);
   return 0;
 }

@@ -1,0 +1,172 @@
+#include "api/advise.h"
+
+#include <atomic>
+#include <limits>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "solver/attribute_groups.h"
+#include "solver/latency.h"
+#include "util/stopwatch.h"
+
+namespace vpart {
+
+const char* AdviseOutcomeName(AdviseOutcome outcome) {
+  switch (outcome) {
+    case AdviseOutcome::kComplete:
+      return "complete";
+    case AdviseOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* SolverNameForAlgorithm(AdvisorOptions::Algorithm algorithm) {
+  using Algorithm = AdvisorOptions::Algorithm;
+  switch (algorithm) {
+    case Algorithm::kAuto:
+      return kSolverAuto;
+    case Algorithm::kIlp:
+      return kSolverIlp;
+    case Algorithm::kSa:
+      return kSolverSa;
+    case Algorithm::kExhaustive:
+      return kSolverExhaustive;
+    case Algorithm::kIncremental:
+      return kSolverIncremental;
+    case Algorithm::kPortfolio:
+      return kSolverPortfolio;
+  }
+  return kSolverAuto;
+}
+
+AdviseRequest FromAdvisorOptions(const AdvisorOptions& options) {
+  AdviseRequest request;
+  request.solver = SolverNameForAlgorithm(options.algorithm);
+  request.num_sites = options.num_sites;
+  request.num_threads = options.num_threads;
+  request.cost = options.cost;
+  request.allow_replication = options.allow_replication;
+  request.use_attribute_grouping = options.use_attribute_grouping;
+  request.latency_penalty = options.latency_penalty;
+  request.time_limit_seconds = options.time_limit_seconds;
+  request.seed = options.seed;
+  request.ilp.mip_gap = options.mip_gap;
+  request.sa.max_restarts = options.sa_max_restarts;
+  return request;
+}
+
+StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
+                                         const AdviseRequest& request,
+                                         const AdviseHooks& hooks) {
+  if (request.num_sites < 1) {
+    return InvalidArgumentError("num_sites must be >= 1");
+  }
+  if (request.num_threads < 0) {
+    return InvalidArgumentError("num_threads must be >= 0");
+  }
+  Stopwatch watch;
+  AdviseResponse response;
+
+  // Optional §4 reduction; exact, so solve the reduced instance throughout.
+  const Instance* solve_instance = &instance;
+  StatusOr<AttributeGrouping> grouping = InvalidArgumentError("unused");
+  bool grouped = false;
+  if (request.use_attribute_grouping) {
+    grouping = BuildAttributeGrouping(instance);
+    VPART_RETURN_IF_ERROR(grouping.status());
+    if (grouping->num_groups() < instance.num_attributes()) {
+      solve_instance = &grouping->reduced;
+      grouped = true;
+    }
+  }
+
+  SolverRegistry& registry = SolverRegistry::Global();
+  StatusOr<std::string> resolved =
+      registry.Resolve(*solve_instance, request, &response.warnings);
+  VPART_RETURN_IF_ERROR(resolved.status());
+  StatusOr<std::unique_ptr<Solver>> solver = registry.Create(*resolved);
+  VPART_RETURN_IF_ERROR(solver.status());
+
+  // Wrap the caller's hooks so the response can report stream telemetry.
+  std::atomic<long> progress_events{0};
+  std::atomic<long> incumbents{0};
+  SolveContext ctx;
+  ctx.token = hooks.token;
+  if (hooks.progress) {
+    ctx.progress = [&progress_events, &hooks](const ProgressEvent& event) {
+      progress_events.fetch_add(1, std::memory_order_relaxed);
+      hooks.progress(event);
+    };
+  }
+  if (hooks.incumbent) {
+    ctx.incumbent = [&incumbents, &hooks](const IncumbentEvent& event) {
+      incumbents.fetch_add(1, std::memory_order_relaxed);
+      hooks.incumbent(event);
+    };
+  }
+
+  CostModel cost_model(solve_instance, request.cost);
+  StatusOr<SolverRun> run = (*solver)->Solve(cost_model, request, ctx);
+  VPART_RETURN_IF_ERROR(run.status());
+
+  AdvisorResult& result = response.result;
+  result.partitioning = grouped
+                            ? grouping->ExpandPartitioning(run->partitioning)
+                            : std::move(run->partitioning);
+  VPART_RETURN_IF_ERROR(ValidatePartitioning(instance, result.partitioning,
+                                             !request.allow_replication));
+
+  CostModel full_model(&instance, request.cost);
+  result.cost = full_model.Objective(result.partitioning);
+  result.breakdown = full_model.Breakdown(result.partitioning);
+  if (request.latency_penalty > 0) {
+    result.latency_cost = LatencyCost(instance, result.partitioning,
+                                      request.latency_penalty);
+  }
+  const Partitioning baseline =
+      SingleSiteBaseline(instance, /*num_sites=*/1);
+  result.single_site_cost = full_model.Objective(baseline);
+  result.reduction_percent =
+      result.single_site_cost > 0
+          ? 100.0 * (1.0 - result.cost / result.single_site_cost)
+          : 0.0;
+  const std::string label =
+      run->algorithm.empty() ? *resolved : run->algorithm;
+  result.algorithm_used = grouped ? label + "+groups" : label;
+  result.proven_optimal = run->proven_optimal;
+  result.seconds = watch.ElapsedSeconds();
+
+  response.solver_used = *resolved;
+  if (hooks.user_cancelled != nullptr &&
+      hooks.user_cancelled->load(std::memory_order_relaxed)) {
+    response.outcome = AdviseOutcome::kCancelled;
+  }
+  response.incumbents = incumbents.load(std::memory_order_relaxed);
+  // Terminal event: the stream always ends with "done" so consumers can
+  // close out without racing Wait()/Poll().
+  if (hooks.progress) {
+    ProgressEvent done;
+    done.phase = "done";
+    done.elapsed = result.seconds;
+    done.best_cost = result.cost;
+    done.bound = result.proven_optimal
+                     ? full_model.ScalarizedObjective(result.partitioning)
+                     : -std::numeric_limits<double>::infinity();
+    done.gap = result.proven_optimal ? 0.0 : 100.0;
+    done.detail = response.incumbents;
+    hooks.progress(done);
+    progress_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  response.progress_events = progress_events.load(std::memory_order_relaxed);
+  return response;
+}
+
+StatusOr<AdviseResponse> Advise(const Instance& instance,
+                                const AdviseRequest& request) {
+  AdviseHooks hooks;
+  hooks.token = CancellationToken::WithDeadline(request.time_limit_seconds);
+  return AdviseWithHooks(instance, request, hooks);
+}
+
+}  // namespace vpart

@@ -1,0 +1,153 @@
+#ifndef VPART_API_ADVISE_H_
+#define VPART_API_ADVISE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/events.h"
+#include "cost/cost_model.h"
+#include "engine/thread_pool.h"
+#include "solver/advisor.h"
+#include "util/status.h"
+
+namespace vpart {
+
+/// Typed per-solver option blocks. Each block only applies when the named
+/// solver (or the portfolio racing it) runs; unrelated blocks are ignored.
+/// The flat legacy AdvisorOptions maps onto these via FromAdvisorOptions.
+
+struct IlpRequestOptions {
+  /// Stop when (incumbent - bound)/|incumbent| falls below this (the
+  /// paper's "MIP tolerance gap of 0.1%").
+  double mip_gap = 0.001;
+  /// Branch & bound workers; 0 derives from AdviseRequest::num_threads
+  /// (direct ilp: all of them; portfolio lane: half the pool).
+  int bnb_threads = 0;
+  /// Rounding-dive primal heuristic at the root and while incumbent-less.
+  bool enable_dive = true;
+  /// Wall clock of the quick SA warm start that seeds the branch & bound;
+  /// <= 0 disables warm starting.
+  double warm_start_seconds = 2.0;
+};
+
+struct SaRequestOptions {
+  /// Restart cap once the first anneal finished (SaOptions::max_restarts).
+  int max_restarts = 6;
+  /// Portfolio lane only: length of one re-anneal slice; each slice
+  /// publishes into the shared incumbent and warm-starts from the leader.
+  double slice_seconds = 0.5;
+};
+
+struct ExhaustiveRequestOptions {
+  /// Abort knob: number of transaction assignments examined.
+  long max_candidates = 5'000'000;
+};
+
+struct IncrementalRequestOptions {
+  /// Fraction of (heaviest) transactions annealed first (§4's 20/80 rule).
+  double initial_fraction = 0.20;
+  /// Number of fold-in batches for the remaining transactions.
+  int batches = 4;
+};
+
+struct PortfolioRequestOptions {
+  bool run_ilp = true;
+  bool run_sa = true;
+  bool run_incremental = true;
+};
+
+/// A service-style advise request: which instance knob settings to solve
+/// under, which solver (by registry name) to use, and the per-solver
+/// blocks. The instance itself is passed alongside the request (the
+/// request stays a cheap value type that can be serialized, queued, and
+/// replayed — see api/request_json.h).
+struct AdviseRequest {
+  /// Registry name: "auto", "ilp", "sa", "exhaustive", "incremental",
+  /// "portfolio", or any custom-registered solver. "auto" resolves via
+  /// SolverRegistry capabilities (see solver_registry.h).
+  std::string solver = "auto";
+  int num_sites = 2;
+  /// Worker threads granted to the solve. "auto" picks the portfolio
+  /// whenever more than one is granted (and the objective allows it).
+  int num_threads = 1;
+  CostParams cost;  // p and λ
+  bool allow_replication = true;
+  /// Apply the §4 reasonable-cuts reduction before solving (exact).
+  bool use_attribute_grouping = true;
+  /// Appendix-A per-query latency penalty; only the ILP prices it exactly
+  /// (capability `latency_penalty` in the registry).
+  double latency_penalty = 0.0;
+  /// Whole-request wall clock; <= 0 means unlimited. Sessions turn this
+  /// into the CancellationToken deadline shared by every stage.
+  double time_limit_seconds = 30.0;
+  uint64_t seed = 1;
+
+  IlpRequestOptions ilp;
+  SaRequestOptions sa;
+  ExhaustiveRequestOptions exhaustive;
+  IncrementalRequestOptions incremental;
+  PortfolioRequestOptions portfolio;
+};
+
+/// How a request finished. Deadline expiry is kComplete (the solver
+/// returned its best answer inside its budget, like the legacy API);
+/// kCancelled is reserved for an explicit Cancel().
+enum class AdviseOutcome { kComplete, kCancelled };
+
+const char* AdviseOutcomeName(AdviseOutcome outcome);
+
+struct AdviseResponse {
+  /// The recommendation payload (costs, breakdown, partitioning,
+  /// algorithm_used detail label) — same struct the legacy API returns, so
+  /// reports and benches consume either path unchanged.
+  AdvisorResult result;
+  /// Registry name of the solver that actually ran ("ilp", "sa", ...);
+  /// resolves "auto" so callers see the real choice.
+  std::string solver_used;
+  AdviseOutcome outcome = AdviseOutcome::kComplete;
+  /// Human-readable advisories: capability downgrades ("auto" skipping the
+  /// portfolio under latency_penalty), ignored blocks, etc.
+  std::vector<std::string> warnings;
+  /// Event-stream telemetry: how many events fired during the solve.
+  long progress_events = 0;
+  long incumbents = 0;
+};
+
+/// Hooks threaded through a solve; every field is optional. `token` copies
+/// alias shared state, so Cancel() on the caller's copy stops the solve.
+struct AdviseHooks {
+  CancellationToken token;
+  ProgressCallback progress;
+  IncumbentCallback incumbent;
+  /// When non-null and true at the end of the solve, the response outcome
+  /// is kCancelled (distinguishes user cancel from deadline expiry, which
+  /// both latch the token flag).
+  const std::atomic<bool>* user_cancelled = nullptr;
+};
+
+/// Synchronous advise through the registry: resolves the solver, applies
+/// attribute grouping, solves, validates, and prices the result. The
+/// blocking core that AdviseSession runs on a background thread.
+StatusOr<AdviseResponse> Advise(const Instance& instance,
+                                const AdviseRequest& request);
+
+/// As Advise, with caller-provided cancellation and event hooks. The token
+/// must carry the request deadline if one is wanted (AdviseSession and
+/// Advise construct it via CancellationToken::WithDeadline).
+StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
+                                         const AdviseRequest& request,
+                                         const AdviseHooks& hooks);
+
+/// Maps the flat legacy options onto a request (algorithm enum -> registry
+/// name, sa_max_restarts -> sa block, mip_gap -> ilp block, ...). The
+/// legacy AdvisePartitioning() is exactly Advise() over this conversion.
+AdviseRequest FromAdvisorOptions(const AdvisorOptions& options);
+
+/// Registry name for a legacy algorithm enum ("auto" for kAuto).
+const char* SolverNameForAlgorithm(AdvisorOptions::Algorithm algorithm);
+
+}  // namespace vpart
+
+#endif  // VPART_API_ADVISE_H_

@@ -1,0 +1,350 @@
+#include "api/request_json.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "instances/random_instance.h"
+#include "instances/tpcc.h"
+#include "util/string_util.h"
+#include "workload/instance_io.h"
+
+namespace vpart {
+namespace {
+
+/// Tracks which keys of `object` were consumed so leftovers can be
+/// reported as errors (a mistyped knob must not silently default).
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& object, std::string path)
+      : object_(object), path_(std::move(path)) {}
+
+  const JsonValue* Find(const std::string& key) {
+    seen_.insert(key);
+    return object_.Find(key);
+  }
+
+  Status ReadDouble(const std::string& key, double* out) {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return Status::Ok();
+    if (!value->is_number()) return TypeError(key, "a number");
+    *out = value->as_number();
+    return Status::Ok();
+  }
+
+  Status ReadInt(const std::string& key, int* out) {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return Status::Ok();
+    // Range-check before the cast: out-of-range double->int is UB, and a
+    // wrapped value could sneak past later semantic validation.
+    if (!value->is_number() ||
+        value->as_number() != std::floor(value->as_number()) ||
+        value->as_number() < -2147483648.0 ||
+        value->as_number() > 2147483647.0) {
+      return TypeError(key, "a 32-bit integer");
+    }
+    *out = static_cast<int>(value->as_number());
+    return Status::Ok();
+  }
+
+  Status ReadLong(const std::string& key, long* out) {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return Status::Ok();
+    // Bound by 2^53: exactly representable in the double that carried it.
+    if (!value->is_number() ||
+        value->as_number() != std::floor(value->as_number()) ||
+        value->as_number() < -9007199254740992.0 ||
+        value->as_number() > 9007199254740992.0) {
+      return TypeError(key, "an integer");
+    }
+    *out = static_cast<long>(value->as_number());
+    return Status::Ok();
+  }
+
+  Status ReadBool(const std::string& key, bool* out) {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return Status::Ok();
+    if (!value->is_bool()) return TypeError(key, "a boolean");
+    *out = value->as_bool();
+    return Status::Ok();
+  }
+
+  Status ReadString(const std::string& key, std::string* out) {
+    const JsonValue* value = Find(key);
+    if (value == nullptr) return Status::Ok();
+    if (!value->is_string()) return TypeError(key, "a string");
+    *out = value->as_string();
+    return Status::Ok();
+  }
+
+  /// All keys consumed? Otherwise an error naming the first stranger.
+  Status CheckNoUnknownKeys() const {
+    for (const JsonValue::Member& member : object_.as_object()) {
+      if (seen_.count(member.first) == 0) {
+        return InvalidArgumentError("unknown key \"" + member.first +
+                                    "\" in " + path_);
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status TypeError(const std::string& key, const char* expected) const {
+    return InvalidArgumentError("\"" + key + "\" in " + path_ +
+                                " must be " + expected);
+  }
+
+  const JsonValue& object_;
+  std::string path_;
+  std::set<std::string> seen_;
+};
+
+Status ParseInstanceSpec(const JsonValue& spec, CliRequest& out) {
+  if (!spec.is_object()) {
+    return InvalidArgumentError("\"instance\" must be an object");
+  }
+  ObjectReader reader(spec, "\"instance\"");
+  VPART_RETURN_IF_ERROR(reader.ReadString("file", &out.instance_file));
+  VPART_RETURN_IF_ERROR(reader.ReadString("text", &out.instance_text));
+  VPART_RETURN_IF_ERROR(reader.ReadString("builtin", &out.builtin));
+  VPART_RETURN_IF_ERROR(reader.ReadString("random", &out.random));
+  VPART_RETURN_IF_ERROR(reader.CheckNoUnknownKeys());
+  const int sources = (out.instance_file.empty() ? 0 : 1) +
+                      (out.instance_text.empty() ? 0 : 1) +
+                      (out.builtin.empty() ? 0 : 1) +
+                      (out.random.empty() ? 0 : 1);
+  if (sources != 1) {
+    return InvalidArgumentError(
+        "\"instance\" needs exactly one of \"file\", \"text\", "
+        "\"builtin\", \"random\"");
+  }
+  if (!out.builtin.empty() && out.builtin != "tpcc") {
+    return InvalidArgumentError("unknown builtin instance \"" + out.builtin +
+                                "\" (available: tpcc)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(json_text);
+  VPART_RETURN_IF_ERROR(parsed.status());
+  if (!parsed->is_object()) {
+    return InvalidArgumentError("request must be a JSON object");
+  }
+
+  CliRequest cli;
+  AdviseRequest& request = cli.request;
+  ObjectReader reader(*parsed, "request");
+
+  const JsonValue* instance_spec = reader.Find("instance");
+  if (instance_spec == nullptr) {
+    return InvalidArgumentError("request needs an \"instance\" object");
+  }
+  VPART_RETURN_IF_ERROR(ParseInstanceSpec(*instance_spec, cli));
+
+  VPART_RETURN_IF_ERROR(reader.ReadString("solver", &request.solver));
+  VPART_RETURN_IF_ERROR(reader.ReadInt("num_sites", &request.num_sites));
+  VPART_RETURN_IF_ERROR(reader.ReadInt("num_threads", &request.num_threads));
+  VPART_RETURN_IF_ERROR(
+      reader.ReadBool("allow_replication", &request.allow_replication));
+  VPART_RETURN_IF_ERROR(reader.ReadBool("use_attribute_grouping",
+                                        &request.use_attribute_grouping));
+  VPART_RETURN_IF_ERROR(
+      reader.ReadDouble("latency_penalty", &request.latency_penalty));
+  VPART_RETURN_IF_ERROR(
+      reader.ReadDouble("time_limit_seconds", &request.time_limit_seconds));
+  long seed = static_cast<long>(request.seed);
+  VPART_RETURN_IF_ERROR(reader.ReadLong("seed", &seed));
+  request.seed = static_cast<uint64_t>(seed);
+
+  if (const JsonValue* cost = reader.Find("cost")) {
+    if (!cost->is_object()) {
+      return InvalidArgumentError("\"cost\" must be an object");
+    }
+    ObjectReader cost_reader(*cost, "\"cost\"");
+    VPART_RETURN_IF_ERROR(cost_reader.ReadDouble("p", &request.cost.p));
+    VPART_RETURN_IF_ERROR(
+        cost_reader.ReadDouble("lambda", &request.cost.lambda));
+    VPART_RETURN_IF_ERROR(cost_reader.CheckNoUnknownKeys());
+  }
+  if (const JsonValue* ilp = reader.Find("ilp")) {
+    if (!ilp->is_object()) {
+      return InvalidArgumentError("\"ilp\" must be an object");
+    }
+    ObjectReader ilp_reader(*ilp, "\"ilp\"");
+    VPART_RETURN_IF_ERROR(
+        ilp_reader.ReadDouble("mip_gap", &request.ilp.mip_gap));
+    VPART_RETURN_IF_ERROR(
+        ilp_reader.ReadInt("bnb_threads", &request.ilp.bnb_threads));
+    VPART_RETURN_IF_ERROR(
+        ilp_reader.ReadBool("enable_dive", &request.ilp.enable_dive));
+    VPART_RETURN_IF_ERROR(ilp_reader.ReadDouble(
+        "warm_start_seconds", &request.ilp.warm_start_seconds));
+    VPART_RETURN_IF_ERROR(ilp_reader.CheckNoUnknownKeys());
+  }
+  if (const JsonValue* sa = reader.Find("sa")) {
+    if (!sa->is_object()) {
+      return InvalidArgumentError("\"sa\" must be an object");
+    }
+    ObjectReader sa_reader(*sa, "\"sa\"");
+    VPART_RETURN_IF_ERROR(
+        sa_reader.ReadInt("max_restarts", &request.sa.max_restarts));
+    VPART_RETURN_IF_ERROR(
+        sa_reader.ReadDouble("slice_seconds", &request.sa.slice_seconds));
+    VPART_RETURN_IF_ERROR(sa_reader.CheckNoUnknownKeys());
+  }
+  if (const JsonValue* exhaustive = reader.Find("exhaustive")) {
+    if (!exhaustive->is_object()) {
+      return InvalidArgumentError("\"exhaustive\" must be an object");
+    }
+    ObjectReader ex_reader(*exhaustive, "\"exhaustive\"");
+    VPART_RETURN_IF_ERROR(ex_reader.ReadLong(
+        "max_candidates", &request.exhaustive.max_candidates));
+    VPART_RETURN_IF_ERROR(ex_reader.CheckNoUnknownKeys());
+  }
+  if (const JsonValue* incremental = reader.Find("incremental")) {
+    if (!incremental->is_object()) {
+      return InvalidArgumentError("\"incremental\" must be an object");
+    }
+    ObjectReader inc_reader(*incremental, "\"incremental\"");
+    VPART_RETURN_IF_ERROR(inc_reader.ReadDouble(
+        "initial_fraction", &request.incremental.initial_fraction));
+    VPART_RETURN_IF_ERROR(
+        inc_reader.ReadInt("batches", &request.incremental.batches));
+    VPART_RETURN_IF_ERROR(inc_reader.CheckNoUnknownKeys());
+  }
+  if (const JsonValue* portfolio = reader.Find("portfolio")) {
+    if (!portfolio->is_object()) {
+      return InvalidArgumentError("\"portfolio\" must be an object");
+    }
+    ObjectReader pf_reader(*portfolio, "\"portfolio\"");
+    VPART_RETURN_IF_ERROR(
+        pf_reader.ReadBool("run_ilp", &request.portfolio.run_ilp));
+    VPART_RETURN_IF_ERROR(
+        pf_reader.ReadBool("run_sa", &request.portfolio.run_sa));
+    VPART_RETURN_IF_ERROR(pf_reader.ReadBool(
+        "run_incremental", &request.portfolio.run_incremental));
+    VPART_RETURN_IF_ERROR(pf_reader.CheckNoUnknownKeys());
+  }
+  VPART_RETURN_IF_ERROR(reader.ReadBool("batch", &cli.batch));
+  VPART_RETURN_IF_ERROR(
+      reader.ReadBool("emit_partitioning", &cli.emit_partitioning));
+  VPART_RETURN_IF_ERROR(reader.ReadBool("emit_events", &cli.emit_events));
+  VPART_RETURN_IF_ERROR(reader.CheckNoUnknownKeys());
+
+  if (request.num_sites < 1) {
+    return InvalidArgumentError("\"num_sites\" must be >= 1");
+  }
+  if (request.num_threads < 0) {
+    return InvalidArgumentError("\"num_threads\" must be >= 0");
+  }
+  if (request.solver != kSolverAuto &&
+      !SolverRegistry::Global().Contains(request.solver)) {
+    return InvalidArgumentError(
+        "unknown solver \"" + request.solver + "\" (available: auto, " +
+        JoinStrings(SolverRegistry::Global().Names(), ", ") + ")");
+  }
+  return cli;
+}
+
+StatusOr<Instance> LoadCliInstance(const CliRequest& request) {
+  if (!request.instance_file.empty()) {
+    return ReadInstanceFile(request.instance_file);
+  }
+  if (!request.instance_text.empty()) {
+    return ParseInstanceText(request.instance_text);
+  }
+  if (request.builtin == "tpcc") {
+    return MakeTpccInstance();
+  }
+  if (!request.random.empty()) {
+    return MakeNamedRandomInstance(request.random);
+  }
+  return InvalidArgumentError("request names no instance");
+}
+
+JsonValue PartitioningToJson(const Instance& instance,
+                             const Partitioning& partitioning) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("num_sites", partitioning.num_sites());
+  JsonValue transactions = JsonValue::MakeObject();
+  for (int t = 0; t < instance.num_transactions(); ++t) {
+    transactions.Set(instance.workload().transaction(t).name,
+                     partitioning.SiteOfTransaction(t));
+  }
+  out.Set("transactions", std::move(transactions));
+  JsonValue attributes = JsonValue::MakeObject();
+  const Schema& schema = instance.schema();
+  for (int a = 0; a < instance.num_attributes(); ++a) {
+    const Attribute& attribute = schema.attribute(a);
+    JsonValue sites = JsonValue::MakeArray();
+    for (int s : partitioning.SitesOfAttribute(a)) sites.Append(s);
+    attributes.Set(schema.table(attribute.table_id).name + "." +
+                       attribute.name,
+                   std::move(sites));
+  }
+  out.Set("attributes", std::move(attributes));
+  return out;
+}
+
+JsonValue ProgressEventToJson(const ProgressEvent& event) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("phase", event.phase);
+  out.Set("elapsed", event.elapsed);
+  out.Set("best_cost", event.best_cost);  // non-finite -> null
+  out.Set("bound", event.bound);
+  out.Set("gap", event.gap);
+  out.Set("detail", event.detail);
+  return out;
+}
+
+JsonValue AdviseResponseToJson(const Instance& instance,
+                               const AdviseResponse& response,
+                               bool emit_partitioning,
+                               const std::vector<ProgressEvent>& events) {
+  const AdvisorResult& result = response.result;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("status", AdviseOutcomeName(response.outcome));
+  out.Set("instance", instance.name());
+  out.Set("solver_used", response.solver_used);
+  out.Set("algorithm", result.algorithm_used);
+  out.Set("cost", result.cost);
+  out.Set("single_site_cost", result.single_site_cost);
+  out.Set("reduction_percent", result.reduction_percent);
+  JsonValue breakdown = JsonValue::MakeObject();
+  breakdown.Set("read_access", result.breakdown.read_access);
+  breakdown.Set("write_access", result.breakdown.write_access);
+  breakdown.Set("transfer", result.breakdown.transfer);
+  breakdown.Set("total", result.breakdown.total);
+  out.Set("breakdown", std::move(breakdown));
+  out.Set("latency_cost", result.latency_cost);
+  out.Set("proven_optimal", result.proven_optimal);
+  out.Set("seconds", result.seconds);
+  if (!response.warnings.empty()) {
+    JsonValue warnings = JsonValue::MakeArray();
+    for (const std::string& warning : response.warnings) {
+      warnings.Append(warning);
+    }
+    out.Set("warnings", std::move(warnings));
+  }
+  JsonValue telemetry = JsonValue::MakeObject();
+  telemetry.Set("progress_events", response.progress_events);
+  telemetry.Set("incumbents", response.incumbents);
+  out.Set("telemetry", std::move(telemetry));
+  if (emit_partitioning) {
+    out.Set("partitioning", PartitioningToJson(instance, result.partitioning));
+  }
+  if (!events.empty()) {
+    JsonValue stream = JsonValue::MakeArray();
+    for (const ProgressEvent& event : events) {
+      stream.Append(ProgressEventToJson(event));
+    }
+    out.Set("events", std::move(stream));
+  }
+  return out;
+}
+
+}  // namespace vpart

@@ -1,0 +1,82 @@
+#ifndef VPART_API_REQUEST_JSON_H_
+#define VPART_API_REQUEST_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "api/advise.h"
+#include "api/json.h"
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// A complete service request as carried by `vpart_cli`: where the
+/// instance comes from plus the AdviseRequest and output switches.
+///
+/// JSON shape (unknown keys are rejected — a typo must not silently fall
+/// back to a default):
+///
+///   {
+///     "instance": {"builtin": "tpcc"}            // or {"file": "x.vpi"}
+///                                                // or {"text": "..."}
+///                                                // or {"random": "rndAt8x15"}
+///     "solver": "auto",                          // registry name
+///     "num_sites": 3, "num_threads": 4,
+///     "cost": {"p": 8, "lambda": 0.1},
+///     "allow_replication": true,
+///     "use_attribute_grouping": true,
+///     "latency_penalty": 0,
+///     "time_limit_seconds": 5,
+///     "seed": 1,
+///     "ilp": {"mip_gap": 0.001, "bnb_threads": 0, "enable_dive": true,
+///             "warm_start_seconds": 2},
+///     "sa": {"max_restarts": 6, "slice_seconds": 0.5},
+///     "exhaustive": {"max_candidates": 5000000},
+///     "incremental": {"initial_fraction": 0.2, "batches": 4},
+///     "portfolio": {"run_ilp": true, "run_sa": true,
+///                   "run_incremental": true},
+///     "batch": false,                            // per-table whole-schema
+///     "emit_partitioning": true,
+///     "emit_events": false
+///   }
+///
+/// Only "instance" is required; everything else defaults as above.
+struct CliRequest {
+  // Exactly one of these is non-empty.
+  std::string instance_file;
+  std::string instance_text;
+  std::string builtin;  // "tpcc"
+  std::string random;   // named class, e.g. "rndAt8x15" (Table 2)
+
+  AdviseRequest request;
+  /// Whole-schema mode: one independent solve per table through the
+  /// BatchAdvisor (request.num_threads tables advised concurrently).
+  bool batch = false;
+  bool emit_partitioning = true;
+  bool emit_events = false;
+};
+
+/// Parses and validates the JSON text above.
+StatusOr<CliRequest> ParseCliRequest(const std::string& json_text);
+
+/// Materializes the instance a CliRequest names.
+StatusOr<Instance> LoadCliInstance(const CliRequest& request);
+
+/// Response document for one advise run. `events` may be empty (attach the
+/// stream a session recorded to honor emit_events).
+JsonValue AdviseResponseToJson(const Instance& instance,
+                               const AdviseResponse& response,
+                               bool emit_partitioning,
+                               const std::vector<ProgressEvent>& events);
+
+/// Serializes a partitioning as name-keyed JSON (transactions -> site,
+/// table.attribute -> sites), mirroring partitioning_io's text format.
+JsonValue PartitioningToJson(const Instance& instance,
+                             const Partitioning& partitioning);
+
+JsonValue ProgressEventToJson(const ProgressEvent& event);
+
+}  // namespace vpart
+
+#endif  // VPART_API_REQUEST_JSON_H_

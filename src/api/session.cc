@@ -1,0 +1,121 @@
+#include "api/session.h"
+
+#include <utility>
+
+namespace vpart {
+
+AdviseSession::AdviseSession(const Instance& instance, AdviseRequest request)
+    : instance_(instance),
+      request_(std::move(request)),
+      token_(CancellationToken::WithDeadline(request_.time_limit_seconds)) {}
+
+AdviseSession::~AdviseSession() {
+  Cancel();
+  // Claim the thread handle under the lock (Wait() may have already
+  // reaped it); join outside so callbacks can still take mu_.
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+}
+
+void AdviseSession::OnProgress(ProgressCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kIdle) user_progress_ = std::move(callback);
+}
+
+void AdviseSession::OnIncumbent(IncumbentCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kIdle) user_incumbent_ = std::move(callback);
+}
+
+Status AdviseSession::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kIdle) {
+    return FailedPreconditionError("session already started");
+  }
+  state_ = State::kRunning;
+  worker_ = std::thread([this]() { Run(); });
+  return Status::Ok();
+}
+
+void AdviseSession::Cancel() {
+  user_cancelled_.store(true, std::memory_order_relaxed);
+  token_.Cancel();
+}
+
+bool AdviseSession::Poll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kDone;
+}
+
+const StatusOr<AdviseResponse>& AdviseSession::Wait() {
+  // Claim the handle under the lock so concurrent Wait() calls (or a
+  // racing destructor) can never double-join the same thread.
+  std::thread worker;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kIdle) {
+      state_ = State::kRunning;
+      worker_ = std::thread([this]() { Run(); });
+    }
+    cv_.wait(lock, [this]() { return state_ == State::kDone; });
+    worker = std::move(worker_);
+  }
+  // The worker is past its last lock-holding statement; reap it so the
+  // session owns no running thread once Wait() returned.
+  if (worker.joinable()) worker.join();
+  return *response_;
+}
+
+AdviseSession::State AdviseSession::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::vector<ProgressEvent> AdviseSession::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::optional<IncumbentEvent> AdviseSession::BestIncumbent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_;
+}
+
+void AdviseSession::Run() {
+  AdviseHooks hooks;
+  hooks.token = token_;
+  hooks.user_cancelled = &user_cancelled_;
+  // Record first (short critical section), then forward to the user
+  // callback outside the lock — a handler may call Events() or
+  // BestIncumbent() without deadlocking.
+  hooks.progress = [this](const ProgressEvent& event) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (events_.size() < kMaxRecordedEvents) events_.push_back(event);
+    }
+    if (user_progress_) user_progress_(event);
+  };
+  hooks.incumbent = [this](const IncumbentEvent& event) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!best_.has_value() || event.scalarized < best_->scalarized) {
+        best_ = event;
+      }
+    }
+    if (user_incumbent_) user_incumbent_(event);
+  };
+
+  StatusOr<AdviseResponse> response =
+      AdviseWithHooks(instance_, request_, hooks);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  response_ = std::move(response);
+  state_ = State::kDone;
+  cv_.notify_all();
+}
+
+}  // namespace vpart

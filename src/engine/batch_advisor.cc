@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "api/advise.h"
 #include "engine/thread_pool.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -98,7 +99,16 @@ double TransactionWeight(const Instance& instance, int t) {
 
 StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
                                           const BatchAdvisorOptions& options) {
-  if (options.advisor.num_sites < 1) {
+  BatchAdviseRequest batch;
+  batch.request = FromAdvisorOptions(options.advisor);
+  batch.table_threads = options.num_threads;
+  return AdviseSchema(instance, batch);
+}
+
+StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
+                                          const BatchAdviseRequest& batch) {
+  const AdviseRequest& request = batch.request;
+  if (request.num_sites < 1) {
     return InvalidArgumentError("num_sites must be >= 1");
   }
   Stopwatch watch;
@@ -111,14 +121,15 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
   std::vector<std::optional<AdvisorResult>> results(n);
   std::vector<Status> statuses(n);
   int threads_used = 1;
+  // Per-table solves go through the service API (one request template,
+  // one registry resolution path) — the same pipeline AdviseSession runs.
   {
-    ThreadPool pool(options.num_threads);
+    ThreadPool pool(batch.table_threads);
     threads_used = pool.size();
     ParallelFor(pool, 0, n, [&](int i) {
-      StatusOr<AdvisorResult> advised =
-          AdvisePartitioning(subs[i].instance, options.advisor);
+      StatusOr<AdviseResponse> advised = Advise(subs[i].instance, request);
       if (advised.ok()) {
-        results[i] = std::move(*advised);
+        results[i] = std::move(advised->result);
       } else {
         statuses[i] = advised.status();
       }
@@ -134,10 +145,10 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
     }
   }
 
-  BatchAdvisorResult batch;
-  batch.threads_used = threads_used;
-  const int num_sites = options.advisor.num_sites;
-  AdvisorResult& combined = batch.combined;
+  BatchAdvisorResult result_batch;
+  result_batch.threads_used = threads_used;
+  const int num_sites = request.num_sites;
+  AdvisorResult& combined = result_batch.combined;
   combined.partitioning = Partitioning(instance.num_transactions(),
                                        instance.num_attributes(), num_sites);
 
@@ -189,7 +200,7 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
     algorithms.insert(result.algorithm_used);
 
     advice.result = std::move(result);
-    batch.tables.push_back(std::move(advice));
+    result_batch.tables.push_back(std::move(advice));
   }
 
   for (int a = 0; a < instance.num_attributes(); ++a) {
@@ -215,8 +226,8 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
   combined.algorithm_used =
       StrFormat("batch[%d]:%s", n, algorithm_list.c_str());
   combined.seconds = watch.ElapsedSeconds();
-  batch.seconds = combined.seconds;
-  return batch;
+  result_batch.seconds = combined.seconds;
+  return result_batch;
 }
 
 }  // namespace vpart

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "api/advise.h"
 #include "solver/advisor.h"
 #include "util/status.h"
 #include "workload/instance.h"
@@ -44,6 +45,15 @@ struct BatchAdvisorOptions {
   int num_threads = 0;
 };
 
+/// Service-API flavor of the batch options: the per-table solve is an
+/// AdviseRequest template (request.time_limit_seconds is the per-table
+/// budget; request.num_threads stays per-solve).
+struct BatchAdviseRequest {
+  AdviseRequest request;
+  /// Tables advised concurrently; 0 = ThreadPool::DefaultThreadCount().
+  int table_threads = 0;
+};
+
 struct TableAdvice {
   int table_id = -1;
   std::string table_name;
@@ -65,9 +75,14 @@ struct BatchAdvisorResult {
 };
 
 /// Decomposes `instance` per table and advises all tables concurrently on a
-/// work-stealing pool. Results are identical for any thread count (the
-/// per-table solves are independent and seeded); only the wall clock
-/// changes. Fails if any per-table solve fails.
+/// work-stealing pool, each through the service API (api/advise.h). Results
+/// are identical for any thread count (the per-table solves are independent
+/// and seeded); only the wall clock changes. Fails if any per-table solve
+/// fails.
+StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
+                                          const BatchAdviseRequest& batch);
+
+/// Legacy-options flavor: converts via FromAdvisorOptions and delegates.
 StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
                                           const BatchAdvisorOptions& options);
 

@@ -79,7 +79,9 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
   }
   Stopwatch watch;
   CancellationToken token =
-      CancellationToken::WithDeadline(options.time_limit_seconds);
+      options.cancel_token != nullptr
+          ? *options.cancel_token  // copies alias the caller's state
+          : CancellationToken::WithDeadline(options.time_limit_seconds);
   SharedIncumbent shared;
 
   const int pool_size =
@@ -103,7 +105,10 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
     }
     const double scalarized = cost_model.ScalarizedObjective(p);
     const double cost = cost_model.Objective(p);
-    shared.Offer(p, scalarized, cost, owner);
+    if (shared.Offer(p, scalarized, cost, owner) && options.on_incumbent) {
+      options.on_incumbent(p, scalarized, cost, owner,
+                           watch.ElapsedSeconds());
+    }
   };
 
   auto record_lane = [&](PortfolioLane lane) {
@@ -114,10 +119,12 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
   // On a pool too small to actually race, the heuristic lanes serialize in
   // front of the ILP and must not eat the whole wall clock.
   const bool lanes_race = pool_size >= 2;
+  const double race_budget =
+      token.HasDeadline() ? token.RemainingSeconds() : 0.0;
   const double heuristic_budget =
-      (lanes_race || options.time_limit_seconds <= 0)
+      (lanes_race || race_budget <= 0)
           ? std::numeric_limits<double>::infinity()
-          : options.time_limit_seconds * 0.25;
+          : race_budget * 0.25;
 
   // --- SA lane: short re-anneal slices, each warm-started from the current
   // leader and published back, until the deadline or the ILP's proof.
@@ -135,6 +142,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
       sa.seed = slice_seed;
       slice_seed = slice_seed * 6364136223846793005ull + 1442695040888963407ull;
       sa.allow_replication = options.allow_replication;
+      sa.cancel_flag = token.flag();
       sa.time_limit_seconds = std::min(options.sa_slice_seconds, remaining);
       std::optional<Partitioning> leader = shared.Leader();
       if (leader.has_value() &&
@@ -162,6 +170,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
     IncrementalOptions inc;
     inc.sa.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
     inc.sa.allow_replication = options.allow_replication;
+    inc.sa.cancel_flag = token.flag();
     inc.sa.time_limit_seconds =
         std::min(token.RemainingSeconds() / 2, heuristic_budget);
     SaResult result =

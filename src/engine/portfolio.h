@@ -2,10 +2,12 @@
 #define VPART_ENGINE_PORTFOLIO_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "engine/thread_pool.h"
 #include "util/status.h"
 
 namespace vpart {
@@ -39,6 +41,18 @@ struct PortfolioOptions {
   bool run_ilp = true;
   bool run_sa = true;
   bool run_incremental = true;
+  /// Externally owned race token. When set, the race uses it directly (its
+  /// deadline replaces time_limit_seconds), so Cancel() on the caller's
+  /// copy stops every lane; the race itself cancels it once the ILP proof
+  /// completes (lanes past that point are wasted work for everyone).
+  const CancellationToken* cancel_token = nullptr;
+  /// Shared-incumbent hook: called whenever a lane takes the lead, with
+  /// the lane's name and the new leader. Invoked from lane threads right
+  /// after publication (outside the incumbent mutex, so a burst of offers
+  /// may deliver slightly out of order); must be thread-safe.
+  std::function<void(const Partitioning& partitioning, double scalarized,
+                     double cost, const std::string& lane, double elapsed)>
+      on_incumbent;
 };
 
 /// Per-lane telemetry of one race.

@@ -125,6 +125,8 @@ class BranchAndBound {
                          std::vector<std::pair<double, double>>& bounds,
                          const std::vector<Node>& nodes) const;
   bool TryUpdateIncumbent(const std::vector<double>& x, double objective);
+  /// Streams a MipProgress snapshot; `announce_incumbent` ships incumbent_.
+  void EmitProgress(bool announce_incumbent);
   /// Prunes `bound` against min(own incumbent, external bound) within the
   /// gap; notes when the external bound was the deciding reason.
   bool PruneBound(double bound);
@@ -137,6 +139,7 @@ class BranchAndBound {
   const LpModel& model_;
   const MipOptions& options_;
   Deadline deadline_;
+  Stopwatch watch_;
 
   bool have_incumbent_ = false;
   double incumbent_obj_ = kLpInfinity;
@@ -181,7 +184,22 @@ bool BranchAndBound::TryUpdateIncumbent(const std::vector<double>& x,
   have_incumbent_ = true;
   incumbent_obj_ = model_.EvaluateObjective(rounded);
   incumbent_ = std::move(rounded);
+  EmitProgress(/*announce_incumbent=*/true);
   return true;
+}
+
+void BranchAndBound::EmitProgress(bool announce_incumbent) {
+  if (!options_.progress) return;
+  MipProgress snapshot;
+  snapshot.nodes = result_.nodes;
+  snapshot.has_incumbent = have_incumbent_;
+  snapshot.incumbent_objective = incumbent_obj_;
+  snapshot.best_bound = open_bounds_.empty()
+                            ? (have_incumbent_ ? incumbent_obj_ : -kLpInfinity)
+                            : *open_bounds_.begin();
+  snapshot.seconds = watch_.ElapsedSeconds();
+  if (announce_incumbent) snapshot.incumbent_values = incumbent_;
+  options_.progress(snapshot);
 }
 
 bool BranchAndBound::PruneBound(double bound) {
@@ -248,7 +266,7 @@ bool BranchAndBound::GapClosed() {
 }
 
 MipResult BranchAndBound::Run() {
-  Stopwatch watch;
+  watch_.Reset();
 
   if (options_.initial_solution != nullptr) {
     const std::vector<double>& x0 = *options_.initial_solution;
@@ -290,6 +308,10 @@ MipResult BranchAndBound::Run() {
     if (PruneBound(node.bound)) continue;
 
     ++result_.nodes;
+    if (options_.progress_node_interval > 0 &&
+        result_.nodes % options_.progress_node_interval == 0) {
+      EmitProgress(/*announce_incumbent=*/false);
+    }
     MaterializeBounds(node_index, bounds, nodes);
 
     SimplexOptions lp_options = options_.lp_options;
@@ -361,7 +383,7 @@ MipResult BranchAndBound::Run() {
     open_bounds_.insert(second.bound);
   }
 
-  result_.seconds = watch.ElapsedSeconds();
+  result_.seconds = watch_.ElapsedSeconds();
   // Best bound: min over still-open nodes; exhausted tree -> incumbent —
   // capped by the external bound where it provided cuts (nodes pruned
   // against it were only proven >= the external value, not >= ours).
@@ -435,6 +457,9 @@ class ParallelBranchAndBound {
                          std::vector<std::pair<double, double>>& bounds) const;
   /// Locks internally; `objective` is recomputed after rounding.
   void OfferIncumbent(const std::vector<double>& x);
+  /// Snapshots progress under mu_ and fires the callback unlocked.
+  void EmitProgressLocked(std::unique_lock<std::mutex>& lock,
+                          bool announce_incumbent);
   void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp);
 
   double OwnIncumbentLocked() const {
@@ -451,6 +476,7 @@ class ParallelBranchAndBound {
   const LpModel& model_;
   const MipOptions& options_;
   Deadline deadline_;
+  Stopwatch watch_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -495,11 +521,32 @@ void ParallelBranchAndBound::OfferIncumbent(const std::vector<double>& x) {
     return;
   }
   const double objective = model_.EvaluateObjective(rounded);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (have_incumbent_ && objective >= incumbent_obj_) return;
   have_incumbent_ = true;
   incumbent_obj_ = objective;
   incumbent_ = std::move(rounded);
+  EmitProgressLocked(lock, /*announce_incumbent=*/true);
+}
+
+void ParallelBranchAndBound::EmitProgressLocked(
+    std::unique_lock<std::mutex>& lock, bool announce_incumbent) {
+  assert(lock.owns_lock());
+  if (!options_.progress) return;
+  MipProgress snapshot;
+  snapshot.nodes = nodes_processed_;
+  snapshot.has_incumbent = have_incumbent_;
+  snapshot.incumbent_objective = incumbent_obj_;
+  snapshot.best_bound = open_bounds_.empty()
+                            ? (have_incumbent_ ? incumbent_obj_ : -kLpInfinity)
+                            : *open_bounds_.begin();
+  snapshot.seconds = watch_.ElapsedSeconds();
+  if (announce_incumbent) snapshot.incumbent_values = incumbent_;
+  // Fire without the search lock so a slow handler never stalls siblings
+  // (and a handler that queries this solver cannot self-deadlock).
+  lock.unlock();
+  options_.progress(snapshot);
+  lock.lock();
 }
 
 bool ParallelBranchAndBound::PruneBoundLocked(double bound) {
@@ -692,7 +739,14 @@ void ParallelBranchAndBound::Worker() {
       continue;
     }
     ++nodes_processed_;
+    // active_ must count this worker BEFORE the progress emission drops
+    // the lock: a sibling seeing open_ empty and active_ == 0 would
+    // declare the search exhausted while this node still has children.
     ++active_;
+    if (options_.progress_node_interval > 0 &&
+        nodes_processed_ % options_.progress_node_interval == 0) {
+      EmitProgressLocked(lock, /*announce_incumbent=*/false);
+    }
     lock.unlock();
     ProcessNode(node, bounds);
     lock.lock();
@@ -702,7 +756,7 @@ void ParallelBranchAndBound::Worker() {
 }
 
 MipResult ParallelBranchAndBound::Run() {
-  Stopwatch watch;
+  watch_.Reset();
   MipResult result;
 
   if (options_.initial_solution != nullptr) {
@@ -729,7 +783,7 @@ MipResult ParallelBranchAndBound::Run() {
     for (auto& worker : workers) worker.get();
   }
 
-  result.seconds = watch.ElapsedSeconds();
+  result.seconds = watch_.ElapsedSeconds();
   result.nodes = nodes_processed_;
   result.lp_iterations = lp_iterations_;
 

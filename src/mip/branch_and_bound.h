@@ -2,6 +2,7 @@
 #define VPART_MIP_BRANCH_AND_BOUND_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,21 @@ enum class MipStatus {
 };
 
 const char* MipStatusName(MipStatus status);
+
+/// Snapshot streamed to MipOptions::progress while the tree search runs.
+struct MipProgress {
+  long nodes = 0;
+  bool has_incumbent = false;
+  /// Incumbent objective; meaningless unless has_incumbent.
+  double incumbent_objective = 0.0;
+  /// Best proven lower bound so far (minimization).
+  double best_bound = -kLpInfinity;
+  double seconds = 0.0;
+  /// Non-empty exactly when this event announces a NEW incumbent: the full
+  /// variable assignment (already integer-rounded and feasibility-checked),
+  /// copied so the callback owns it. Periodic ticks leave it empty.
+  std::vector<double> incumbent_values;
+};
 
 struct MipOptions {
   /// Wall-clock limit; <= 0 means unlimited. The paper ran GLPK with a
@@ -50,6 +66,12 @@ struct MipOptions {
   /// Cooperative cancellation: the search stops (like a deadline) once the
   /// flag is true. Ignored when null.
   const std::atomic<bool>* cancel_flag = nullptr;
+  /// Progress stream: called on every new incumbent (with the assignment)
+  /// and every `progress_node_interval` processed nodes (without). With
+  /// num_threads > 1 the callback runs on whichever worker produced the
+  /// event, outside the search lock — it must be thread-safe and cheap.
+  std::function<void(const MipProgress&)> progress;
+  long progress_node_interval = 256;
 };
 
 struct MipResult {

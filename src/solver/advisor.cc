@@ -1,178 +1,20 @@
 #include "solver/advisor.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "engine/portfolio.h"
-#include "solver/attribute_groups.h"
-#include "solver/exhaustive_solver.h"
-#include "solver/incremental_solver.h"
-#include "solver/latency.h"
-#include "util/stopwatch.h"
-#include "util/string_util.h"
+#include "api/advise.h"
 
 namespace vpart {
-namespace {
 
-using Algorithm = AdvisorOptions::Algorithm;
-
-Algorithm PickAlgorithm(const Instance& instance,
-                        const AdvisorOptions& options) {
-  if (options.algorithm != Algorithm::kAuto) return options.algorithm;
-  // A caller granting threads wants them used: race the solvers. Latency
-  // opts out — only the dedicated ILP path prices the Appendix-A term, and
-  // auto-switching objectives with the thread count would surprise.
-  if (options.num_threads > 1 && options.latency_penalty <= 0) {
-    return Algorithm::kPortfolio;
-  }
-  const int num_t = instance.num_transactions();
-  // Enumerating site assignments is exact and instant for small |T|.
-  if (num_t <= 9) return Algorithm::kExhaustive;
-  // The ILP stays tractable while the linearization is small.
-  size_t u_estimate = 0;
-  for (int t = 0; t < num_t; ++t) {
-    u_estimate += instance.TouchedAttributesOfTransaction(t).size();
-  }
-  u_estimate *= options.num_sites;
-  if (u_estimate <= 4000) return Algorithm::kIlp;
-  return Algorithm::kSa;
-}
-
-}  // namespace
-
+// Source-compatible shim over the service API (api/advise.h): the flat
+// options map onto an AdviseRequest and the solve runs through the
+// SolverRegistry, so both entry points share one orchestration path.
 StatusOr<AdvisorResult> AdvisePartitioning(const Instance& instance,
                                            const AdvisorOptions& options) {
-  if (options.num_sites < 1) {
-    return InvalidArgumentError("num_sites must be >= 1");
-  }
-  Stopwatch watch;
-
-  // Optional §4 reduction; exact, so solve the reduced instance throughout.
-  const Instance* solve_instance = &instance;
-  StatusOr<AttributeGrouping> grouping = InvalidArgumentError("unused");
-  bool grouped = false;
-  if (options.use_attribute_grouping) {
-    grouping = BuildAttributeGrouping(instance);
-    VPART_RETURN_IF_ERROR(grouping.status());
-    if (grouping->num_groups() < instance.num_attributes()) {
-      solve_instance = &grouping->reduced;
-      grouped = true;
-    }
-  }
-
-  CostModel cost_model(solve_instance, options.cost);
-  const Algorithm algorithm = PickAlgorithm(*solve_instance, options);
-
-  Partitioning reduced_solution;
-  std::string algorithm_name;
-  bool proven_optimal = false;
-
-  switch (algorithm) {
-    case Algorithm::kExhaustive: {
-      ExhaustiveOptions ex;
-      ex.num_sites = options.num_sites;
-      ex.allow_replication = options.allow_replication;
-      ExhaustiveResult result = SolveExhaustively(cost_model, ex);
-      if (!result.partitioning.has_value()) {
-        return InfeasibleError("exhaustive enumeration found no solution");
-      }
-      reduced_solution = std::move(*result.partitioning);
-      algorithm_name = "exhaustive";
-      proven_optimal = result.exact;
-      break;
-    }
-    case Algorithm::kIlp: {
-      IlpSolverOptions ilp;
-      ilp.formulation.num_sites = options.num_sites;
-      ilp.formulation.allow_replication = options.allow_replication;
-      ilp.latency_penalty = options.latency_penalty;
-      ilp.mip.time_limit_seconds = options.time_limit_seconds;
-      ilp.mip.relative_gap = options.mip_gap;
-      // Seed the branch & bound with a quick SA incumbent.
-      SaOptions sa;
-      sa.seed = options.seed;
-      sa.allow_replication = options.allow_replication;
-      sa.time_limit_seconds = std::min(2.0, options.time_limit_seconds / 4);
-      SaResult warm = SolveWithSa(cost_model, options.num_sites, sa);
-      ilp.warm_start = &warm.partitioning;
-      IlpSolveResult result = SolveWithIlp(cost_model, ilp);
-      if (result.ok()) {
-        reduced_solution = std::move(*result.partitioning);
-        proven_optimal = result.status == MipStatus::kOptimal;
-        algorithm_name = "ilp";
-      } else {
-        reduced_solution = std::move(warm.partitioning);
-        algorithm_name = "ilp(timeout)->sa";
-      }
-      break;
-    }
-    case Algorithm::kSa: {
-      SaOptions sa;
-      sa.seed = options.seed;
-      sa.allow_replication = options.allow_replication;
-      sa.time_limit_seconds = options.time_limit_seconds;
-      sa.max_restarts = options.sa_max_restarts;
-      SaResult result = SolveWithSa(cost_model, options.num_sites, sa);
-      reduced_solution = std::move(result.partitioning);
-      algorithm_name = "sa";
-      break;
-    }
-    case Algorithm::kIncremental: {
-      IncrementalOptions inc;
-      inc.sa.seed = options.seed;
-      inc.sa.allow_replication = options.allow_replication;
-      inc.sa.time_limit_seconds = options.time_limit_seconds / 2;
-      SaResult result =
-          SolveIncrementally(cost_model, options.num_sites, inc);
-      reduced_solution = std::move(result.partitioning);
-      algorithm_name = "incremental";
-      break;
-    }
-    case Algorithm::kPortfolio: {
-      PortfolioOptions portfolio;
-      portfolio.num_sites = options.num_sites;
-      portfolio.allow_replication = options.allow_replication;
-      portfolio.time_limit_seconds = options.time_limit_seconds;
-      portfolio.relative_gap = options.mip_gap;
-      portfolio.seed = options.seed;
-      portfolio.num_threads = options.num_threads;
-      StatusOr<PortfolioResult> raced =
-          SolvePortfolio(cost_model, portfolio);
-      VPART_RETURN_IF_ERROR(raced.status());
-      reduced_solution = std::move(raced->partitioning);
-      algorithm_name = "portfolio(" + raced->winner + ")";
-      proven_optimal = raced->proven_optimal;
-      break;
-    }
-    case Algorithm::kAuto:
-      return InternalError("kAuto should have been resolved");
-  }
-
-  AdvisorResult result;
-  result.partitioning =
-      grouped ? grouping->ExpandPartitioning(reduced_solution)
-              : std::move(reduced_solution);
-  VPART_RETURN_IF_ERROR(ValidatePartitioning(instance, result.partitioning,
-                                             !options.allow_replication));
-
-  CostModel full_model(&instance, options.cost);
-  result.cost = full_model.Objective(result.partitioning);
-  result.breakdown = full_model.Breakdown(result.partitioning);
-  if (options.latency_penalty > 0) {
-    result.latency_cost = LatencyCost(instance, result.partitioning,
-                                      options.latency_penalty);
-  }
-  const Partitioning baseline =
-      SingleSiteBaseline(instance, /*num_sites=*/1);
-  result.single_site_cost = full_model.Objective(baseline);
-  result.reduction_percent =
-      result.single_site_cost > 0
-          ? 100.0 * (1.0 - result.cost / result.single_site_cost)
-          : 0.0;
-  result.algorithm_used =
-      grouped ? algorithm_name + "+groups" : algorithm_name;
-  result.proven_optimal = proven_optimal;
-  result.seconds = watch.ElapsedSeconds();
-  return result;
+  StatusOr<AdviseResponse> response =
+      Advise(instance, FromAdvisorOptions(options));
+  VPART_RETURN_IF_ERROR(response.status());
+  return std::move(response->result);
 }
 
 }  // namespace vpart

@@ -10,13 +10,18 @@
 
 namespace vpart {
 
-/// High-level entry point: instance in, recommended partitioning out.
-/// Wraps attribute grouping (§4), algorithm selection, and reporting — the
-/// API a downstream user of the library would call.
+/// Legacy high-level entry point: instance in, recommended partitioning
+/// out. Since the api/ layer landed this is a source-compatible shim over
+/// Advise() (api/advise.h) — same orchestration, same SolverRegistry; new
+/// code wanting cancellation, progress streaming, or per-solver option
+/// blocks should use AdviseRequest/AdviseSession directly.
 struct AdvisorOptions {
   enum class Algorithm {
     kAuto,        // exhaustive for tiny, ILP for small, SA otherwise;
-                  // portfolio whenever num_threads > 1
+                  // portfolio whenever num_threads > 1 (and, since the
+                  // registry landed, parallel-B&B ILP when a latency
+                  // penalty rules the portfolio out — with a warning,
+                  // never silently)
     kIlp,         // the paper's QP solver
     kSa,          // the paper's SA heuristic
     kExhaustive,  // exact enumeration (small |T| only)
@@ -41,7 +46,9 @@ struct AdvisorOptions {
   /// Honored exactly by the ILP path; the heuristic paths — including
   /// kPortfolio, whose lanes share one latency-free bound — optimize the
   /// base objective and report the latency exposure of their result.
-  /// (kAuto therefore never picks the portfolio when this is set.)
+  /// (kAuto therefore never picks the portfolio when this is set: with
+  /// num_threads > 1 it logs a warning and runs the parallel-B&B ILP,
+  /// which does price the term.)
   double latency_penalty = 0.0;
   double time_limit_seconds = 30.0;
   double mip_gap = 0.001;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "solver/sa_solver.h"
+#include "util/stopwatch.h"
 
 namespace vpart {
 namespace {
@@ -10,12 +11,14 @@ namespace {
 struct Enumerator {
   const CostModel& cost_model;
   const ExhaustiveOptions& options;
+  Deadline deadline;
   Partitioning work;
   ExhaustiveResult result;
   double best_key = 1e300;
 
   explicit Enumerator(const CostModel& model, const ExhaustiveOptions& opts)
       : cost_model(model), options(opts),
+        deadline(opts.time_limit_seconds),
         work(model.instance().num_transactions(),
              model.instance().num_attributes(), opts.num_sites) {}
 
@@ -43,6 +46,15 @@ struct Enumerator {
   /// 0 .. min(used, |S|-1), so each site-permutation class is visited once.
   void Recurse(int t, int used) {
     if (result.candidates >= options.max_candidates) {
+      result.exhausted = false;
+      return;
+    }
+    // Poll cancel/deadline sparsely: every 512 candidates is cheap and
+    // still stops a multi-second enumeration within microseconds of work.
+    if ((result.candidates & 511) == 0 &&
+        ((options.cancel_flag != nullptr &&
+          options.cancel_flag->load(std::memory_order_relaxed)) ||
+         deadline.Expired())) {
       result.exhausted = false;
       return;
     }

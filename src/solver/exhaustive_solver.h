@@ -1,6 +1,7 @@
 #ifndef VPART_SOLVER_EXHAUSTIVE_SOLVER_H_
 #define VPART_SOLVER_EXHAUSTIVE_SOLVER_H_
 
+#include <atomic>
 #include <optional>
 
 #include "cost/cost_model.h"
@@ -25,6 +26,12 @@ struct ExhaustiveOptions {
   bool rank_by_scalarized = true;
   /// Abort knob: number of x assignments examined.
   long max_candidates = 5'000'000;
+  /// Wall-clock cap; <= 0 means none. Expiry stops the scan like
+  /// max_candidates (best-so-far kept, `exhausted`/`exact` turn false).
+  double time_limit_seconds = 0.0;
+  /// Cooperative cancellation: polled during enumeration alongside the
+  /// deadline; same stop semantics. Ignored when null.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 struct ExhaustiveResult {

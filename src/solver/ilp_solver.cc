@@ -20,6 +20,26 @@ IlpSolveResult SolveWithIlp(const CostModel& cost_model,
     mip_options.initial_solution = &warm;
   }
 
+  // Decode tree-search incumbents into partitionings for the caller's
+  // stream, chaining any progress callback the caller installed itself.
+  if (options.on_incumbent) {
+    auto chained = options.mip.progress;
+    const bool disjoint = !options.formulation.allow_replication;
+    mip_options.progress = [&cost_model, &formulation, &options, chained,
+                            disjoint](const MipProgress& progress) {
+      if (!progress.incumbent_values.empty()) {
+        Partitioning p =
+            formulation.ExtractPartitioning(progress.incumbent_values);
+        if (ValidatePartitioning(cost_model.instance(), p, disjoint).ok()) {
+          const double scalarized = cost_model.ScalarizedObjective(p);
+          const double cost = cost_model.Objective(p);
+          options.on_incumbent(p, scalarized, cost);
+        }
+      }
+      if (chained) chained(progress);
+    };
+  }
+
   MipResult mip = SolveMip(formulation.model, mip_options);
 
   IlpSolveResult result;

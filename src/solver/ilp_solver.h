@@ -1,6 +1,7 @@
 #ifndef VPART_SOLVER_ILP_SOLVER_H_
 #define VPART_SOLVER_ILP_SOLVER_H_
 
+#include <functional>
 #include <optional>
 
 #include "cost/cost_model.h"
@@ -22,6 +23,13 @@ struct IlpSolverOptions {
   /// write queries when > 0 (see solver/latency.h). Warm starts are
   /// disabled under latency because the encoding does not cover ψ.
   double latency_penalty = 0.0;
+  /// Incumbent stream: every new branch & bound incumbent, decoded to a
+  /// validated Partitioning (scalarized = eq. (6), cost = eq. (4)). Fires
+  /// on the search threads; see MipOptions::progress for the contract —
+  /// tree-level ticks without a new incumbent go to `mip.progress`.
+  std::function<void(const Partitioning& partitioning, double scalarized,
+                     double cost)>
+      on_incumbent;
 };
 
 struct IlpSolveResult {

@@ -123,11 +123,28 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
       1, static_cast<int>(std::ceil(options.initial_fraction * num_t)));
   prefix = std::min(prefix, num_t);
 
+  auto cancelled = [&options]() {
+    return options.sa.cancel_flag != nullptr &&
+           options.sa.cancel_flag->load(std::memory_order_relaxed);
+  };
+  int round = 0;
+  auto emit_progress = [&](int covered, double scalarized) {
+    if (!options.progress) return;
+    IncrementalProgress snapshot;
+    snapshot.round = round++;
+    snapshot.covered = covered;
+    snapshot.total = num_t;
+    snapshot.best_scalarized = scalarized;
+    snapshot.seconds = watch.ElapsedSeconds();
+    options.progress(snapshot);
+  };
+
   // Phase 1: anneal the heavy prefix on its own sub-instance.
   auto sub = BuildPrefixInstance(instance, order, prefix);
   assert(sub.ok());
   CostModel sub_model(&sub.value(), cost_model.params());
   SaResult sub_result = SolveWithSa(sub_model, num_sites, options.sa);
+  emit_progress(prefix, sub_result.scalarized);
 
   // Lift to the permuted full solution progressively.
   long iterations = sub_result.iterations;
@@ -140,7 +157,10 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
   int covered = prefix;
   Instance grown = std::move(sub.value());
   while (covered < num_t) {
-    const int next = std::min(num_t, covered + std::max(chunk, 1));
+    // Once cancelled, fold everything left in at once and skip the
+    // re-anneal below: the caller gets a complete feasible solution fast.
+    const int next =
+        cancelled() ? num_t : std::min(num_t, covered + std::max(chunk, 1));
     auto grown_or = BuildPrefixInstance(instance, order, next);
     assert(grown_or.ok());
     grown = std::move(grown_or.value());
@@ -159,15 +179,23 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
       PlaceTransactionGreedy(grown_model, extended, i);
     }
 
+    if (cancelled()) {
+      current = std::move(extended);
+      covered = next;
+      emit_progress(covered, grown_model.ScalarizedObjective(current));
+      break;
+    }
+
     // Short re-anneal seeded from the extended solution.
     SaOptions re = options.sa;
     re.initial = &extended;
     re.inner_iterations = std::max(4, options.sa.inner_iterations / 2);
     re.stale_rounds_limit = std::max(2, options.sa.stale_rounds_limit / 2);
-    SaResult round = SolveWithSa(grown_model, num_sites, re);
-    iterations += round.iterations;
-    current = std::move(round.partitioning);
+    SaResult reannealed = SolveWithSa(grown_model, num_sites, re);
+    iterations += reannealed.iterations;
+    current = std::move(reannealed.partitioning);
     covered = next;
+    emit_progress(covered, reannealed.scalarized);
   }
 
   // Permute transactions back to original ids.

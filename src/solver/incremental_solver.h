@@ -15,10 +15,26 @@ namespace vpart {
 /// are annealed on their own sub-instance, the remaining transactions are
 /// folded in by batches — each placed on its cheapest feasible site, with a
 /// short re-anneal after every batch seeded from the current solution.
+/// Snapshot streamed to IncrementalOptions::progress after the heavy-prefix
+/// anneal (round 0) and after each fold-in batch.
+struct IncrementalProgress {
+  int round = 0;
+  /// Transactions covered by the solution so far, of `total`.
+  int covered = 0;
+  int total = 0;
+  /// Objective (6) of the current (prefix) solution.
+  double best_scalarized = 0.0;
+  double seconds = 0.0;
+};
+
 struct IncrementalOptions {
   double initial_fraction = 0.20;
   int batches = 4;
+  /// Inner anneal settings. `sa.cancel_flag` also cancels the fold-in loop:
+  /// remaining transactions are placed greedily (no re-anneal) so a full,
+  /// feasible solution still comes back promptly.
   SaOptions sa;
+  std::function<void(const IncrementalProgress&)> progress;
 };
 
 /// Returns a solution for the full instance behind `cost_model`.

@@ -128,6 +128,13 @@ bool ComputeOptimalX(const CostModel& cost_model, Partitioning& p,
 
 namespace {
 
+/// Deadline-or-cancel stop test shared by the anneal loops.
+bool ShouldStop(const SaOptions& options, const Deadline& deadline) {
+  if (deadline.Expired()) return true;
+  return options.cancel_flag != nullptr &&
+         options.cancel_flag->load(std::memory_order_relaxed);
+}
+
 /// One full anneal (Algorithm 1) from the given start. Appends iteration
 /// and acceptance counts into `result` and updates the global best.
 void AnnealOnce(const CostModel& cost_model, int num_sites,
@@ -183,10 +190,11 @@ void AnnealOnce(const CostModel& cost_model, int num_sites,
   bool fix_x = true;  // Algorithm 1 line 4: fix <- "x"
   int stale_rounds = 0;
   while (tau > tau0 * options.min_temperature_ratio &&
-         stale_rounds < options.stale_rounds_limit && !deadline.Expired()) {
+         stale_rounds < options.stale_rounds_limit &&
+         !ShouldStop(options, deadline)) {
     bool improved_this_round = false;
     for (int i = 0; i < options.inner_iterations; ++i) {
-      if (deadline.Expired()) break;
+      if (ShouldStop(options, deadline)) break;
       Partitioning candidate = current;
 
       // Neighborhood of x: move ~10% of transactions to random sites.
@@ -257,16 +265,30 @@ SaResult SolveWithSa(const CostModel& cost_model, int num_sites,
   Partitioning global_best;
   double global_best_obj = 0.0;
 
+  int anneals = 0;
+  auto emit_progress = [&]() {
+    if (!options.progress) return;
+    SaProgress snapshot;
+    snapshot.restart = anneals++;
+    snapshot.best_scalarized = global_best_obj;
+    snapshot.best_cost = cost_model.Objective(global_best);
+    snapshot.best = &global_best;
+    snapshot.seconds = watch.ElapsedSeconds();
+    options.progress(snapshot);
+  };
+
   // First anneal per Algorithm 1 (caller-provided start if any).
   AnnealOnce(cost_model, num_sites, options, options.initial, deadline, rng,
              result, global_best, global_best_obj);
+  emit_progress();
 
   // Restarts while the time budget lasts: annealing is cheap relative to
   // typical budgets, so we re-run from diverse starts and keep the best.
   // The first restart begins from the trivial single-site layout — when
   // partitioning does not pay (the paper's rndB…x100 rows) the best answer
   // IS that layout, and a random multi-site start rarely walks back to it.
-  if (deadline.HasLimit() && num_sites > 1) {
+  if (deadline.HasLimit() && num_sites > 1 &&
+      !ShouldStop(options, deadline)) {
     const Instance& instance = cost_model.instance();
     Partitioning single_site(instance.num_transactions(),
                              instance.num_attributes(), num_sites);
@@ -276,10 +298,13 @@ SaResult SolveWithSa(const CostModel& cost_model, int num_sites,
     ComputeOptimalY(cost_model, single_site, options.allow_replication);
     AnnealOnce(cost_model, num_sites, options, &single_site, deadline, rng,
                result, global_best, global_best_obj);
+    emit_progress();
     for (int restart = 0;
-         restart < options.max_restarts && !deadline.Expired(); ++restart) {
+         restart < options.max_restarts && !ShouldStop(options, deadline);
+         ++restart) {
       AnnealOnce(cost_model, num_sites, options, nullptr, deadline, rng,
                  result, global_best, global_best_obj);
+      emit_progress();
     }
   }
 

@@ -1,7 +1,9 @@
 #ifndef VPART_SOLVER_SA_SOLVER_H_
 #define VPART_SOLVER_SA_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "cost/cost_model.h"
 
@@ -27,6 +29,18 @@ bool ComputeOptimalY(const CostModel& cost_model, Partitioning& p,
 /// returns false instead.
 bool ComputeOptimalX(const CostModel& cost_model, Partitioning& p,
                      bool allow_replication = true);
+
+/// Snapshot streamed to SaOptions::progress after every completed anneal
+/// (the initial one and each restart).
+struct SaProgress {
+  /// 0 for the initial anneal, then 1, 2, ... per restart.
+  int restart = 0;
+  double best_cost = 0.0;        // objective (4) of the best so far
+  double best_scalarized = 0.0;  // objective (6) of the best so far
+  /// Global best at this point; valid only during the callback.
+  const Partitioning* best = nullptr;
+  double seconds = 0.0;
+};
 
 /// Parameters of Algorithm 1 (§3, §5.1). Defaults follow the paper where it
 /// specifies values (10% neighborhood, 50% initial acceptance of 5%-worse
@@ -61,6 +75,12 @@ struct SaOptions {
   /// Optional warm start; must match the instance dimensions and the
   /// requested site count. The anneal begins from it instead of a random x.
   const Partitioning* initial = nullptr;
+  /// Cooperative cancellation: checked alongside the deadline in the inner
+  /// loop; the best incumbent so far is returned. Ignored when null.
+  const std::atomic<bool>* cancel_flag = nullptr;
+  /// Progress stream: invoked after each anneal with the global best.
+  /// Called on the solving thread; must not mutate the partitioning.
+  std::function<void(const SaProgress&)> progress;
 };
 
 struct SaResult {

@@ -1,0 +1,127 @@
+#include "api/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace vpart {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto null_value = JsonValue::Parse("null");
+  ASSERT_TRUE(null_value.ok());
+  EXPECT_TRUE(null_value->is_null());
+
+  auto true_value = JsonValue::Parse(" true ");
+  ASSERT_TRUE(true_value.ok());
+  EXPECT_TRUE(true_value->as_bool());
+
+  auto number = JsonValue::Parse("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  EXPECT_DOUBLE_EQ(number->as_number(), -1250.0);
+
+  auto integer = JsonValue::Parse("42");
+  ASSERT_TRUE(integer.ok());
+  EXPECT_DOUBLE_EQ(integer->as_number(), 42.0);
+
+  auto text = JsonValue::Parse("\"hi\\nthere\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->as_string(), "hi\nthere");
+}
+
+TEST(JsonTest, ParsesNestedDocuments) {
+  auto doc = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  const JsonValue* b = a->as_array()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->as_bool());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  auto bmp = JsonValue::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(bmp.ok());
+  EXPECT_EQ(bmp->as_string(), "A\xc3\xa9");
+
+  // Surrogate pair: U+1F600.
+  auto astral = JsonValue::Parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(astral.ok());
+  EXPECT_EQ(astral->as_string(), "\xf0\x9f\x98\x80");
+
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());   // lone high
+  EXPECT_FALSE(JsonValue::Parse("\"\\ude00\"").ok());   // lone low
+  EXPECT_FALSE(JsonValue::Parse("\"\\uZZZZ\"").ok());
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());      // trailing content
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,\"a\":2}").ok());  // duplicate
+  EXPECT_FALSE(JsonValue::Parse("\"\x01\"").ok());  // raw control char
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, SerializeRoundTrips) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("name", "tpc-c \"v5\"");
+  object.Set("count", 42);
+  object.Set("ratio", 0.125);
+  object.Set("flag", true);
+  object.Set("nothing", JsonValue());
+  JsonValue array = JsonValue::MakeArray();
+  array.Append(1);
+  array.Append("two");
+  object.Set("items", std::move(array));
+
+  for (int indent : {0, 2}) {
+    const std::string text = object.Serialize(indent);
+    auto reparsed = JsonValue::Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(reparsed->Find("name")->as_string(), "tpc-c \"v5\"");
+    EXPECT_DOUBLE_EQ(reparsed->Find("count")->as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(reparsed->Find("ratio")->as_number(), 0.125);
+    EXPECT_TRUE(reparsed->Find("flag")->as_bool());
+    EXPECT_TRUE(reparsed->Find("nothing")->is_null());
+    EXPECT_EQ(reparsed->Find("items")->as_array().size(), 2u);
+  }
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  JsonValue inf(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.Serialize(), "null");
+}
+
+TEST(JsonTest, SetReplacesExistingKeyInPlace) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("a", 1);
+  object.Set("b", 2);
+  object.Set("a", 3);
+  ASSERT_EQ(object.as_object().size(), 2u);
+  EXPECT_EQ(object.as_object()[0].first, "a");
+  EXPECT_DOUBLE_EQ(object.Find("a")->as_number(), 3.0);
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("a\tb\"c\\d\x01"), "\"a\\tb\\\"c\\\\d\\u0001\"");
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,195 @@
+// JSON request in -> JSON response out: drive any advisor scenario without
+// recompiling. The request names an instance source (builtin tpcc, a named
+// random class, a .vpi file, or inline text), a solver from the registry,
+// and the per-solver option blocks; the response carries costs, the
+// recommended layout, warnings, and (optionally) the progress-event stream.
+//
+//   $ ./build/vpart_cli request.json          # read request from a file
+//   $ ./build/vpart_cli < request.json        # ... or from stdin
+//   $ ./build/vpart_cli --template            # print a starter request
+//   $ ./build/vpart_cli --help
+//
+// Exit codes: 0 success, 1 solve failure, 2 bad usage/request.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/request_json.h"
+#include "api/session.h"
+#include "api/solver_registry.h"
+#include "engine/batch_advisor.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace vpart;
+
+constexpr const char* kTemplate = R"({
+  "instance": {"builtin": "tpcc"},
+  "solver": "auto",
+  "num_sites": 3,
+  "num_threads": 1,
+  "cost": {"p": 8, "lambda": 0.1},
+  "time_limit_seconds": 5,
+  "emit_partitioning": true,
+  "emit_events": false
+})";
+
+void PrintHelp() {
+  std::printf(
+      "usage: vpart_cli [request.json]\n"
+      "\n"
+      "Reads a JSON advise request (from the given file, or stdin when no\n"
+      "file is given), runs it through the solver registry, and prints a\n"
+      "JSON response to stdout.\n"
+      "\n"
+      "options:\n"
+      "  --template   print a starter request and exit\n"
+      "  --help       this text\n"
+      "\n"
+      "registered solvers: auto, %s\n"
+      "\n"
+      "request keys (see src/api/request_json.h for the full schema):\n"
+      "  instance              {\"builtin\": \"tpcc\"} | {\"file\": ...} |\n"
+      "                        {\"text\": ...} | {\"random\": \"rndAt8x15\"}\n"
+      "  solver                registry name (default \"auto\")\n"
+      "  num_sites/num_threads ints; cost {p, lambda}\n"
+      "  time_limit_seconds    whole-request wall clock\n"
+      "  batch                 true = one solve per table (whole schema)\n"
+      "  emit_events           true = include the progress-event stream\n",
+      JoinStrings(SolverRegistry::Global().Names(), ", ").c_str());
+}
+
+std::string ReadAll(std::FILE* in) {
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, n);
+  }
+  return text;
+}
+
+int RunBatch(const Instance& instance, const CliRequest& cli) {
+  BatchAdviseRequest batch;
+  batch.request = cli.request;
+  batch.request.num_threads = 1;  // concurrency goes across tables
+  batch.table_threads = cli.request.num_threads;
+  StatusOr<BatchAdvisorResult> advised = AdviseSchema(instance, batch);
+  if (!advised.ok()) {
+    std::fprintf(stderr, "batch advise failed: %s\n",
+                 advised.status().ToString().c_str());
+    return 1;
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("status", "complete");
+  out.Set("instance", instance.name());
+  out.Set("mode", "batch");
+  JsonValue tables = JsonValue::MakeArray();
+  for (const TableAdvice& advice : advised->tables) {
+    JsonValue table = JsonValue::MakeObject();
+    table.Set("table", advice.table_name);
+    table.Set("algorithm", advice.result.algorithm_used);
+    table.Set("cost", advice.result.cost);
+    table.Set("single_site_cost", advice.result.single_site_cost);
+    table.Set("reduction_percent", advice.result.reduction_percent);
+    table.Set("proven_optimal", advice.result.proven_optimal);
+    tables.Append(std::move(table));
+  }
+  out.Set("tables", std::move(tables));
+  JsonValue combined = JsonValue::MakeObject();
+  combined.Set("algorithm", advised->combined.algorithm_used);
+  combined.Set("cost", advised->combined.cost);
+  combined.Set("single_site_cost", advised->combined.single_site_cost);
+  combined.Set("reduction_percent", advised->combined.reduction_percent);
+  combined.Set("proven_optimal", advised->combined.proven_optimal);
+  if (cli.emit_partitioning) {
+    combined.Set("partitioning",
+                 PartitioningToJson(instance,
+                                    advised->combined.partitioning));
+  }
+  out.Set("combined", std::move(combined));
+  out.Set("threads_used", advised->threads_used);
+  out.Set("seconds", advised->seconds);
+  std::printf("%s\n", out.Serialize(2).c_str());
+  return 0;
+}
+
+int Run(const std::string& request_text) {
+  StatusOr<CliRequest> cli = ParseCliRequest(request_text);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "bad request: %s\n",
+                 cli.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<Instance> instance = LoadCliInstance(*cli);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "failed to load instance: %s\n",
+                 instance.status().ToString().c_str());
+    return 2;
+  }
+  if (cli->batch) return RunBatch(*instance, *cli);
+
+  // Run through an AdviseSession so the CLI exercises the same async path
+  // a service embedding would, and can replay the recorded event stream.
+  AdviseSession session(*instance, cli->request);
+  Status started = session.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "session start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  const StatusOr<AdviseResponse>& response = session.Wait();
+  if (!response.ok()) {
+    std::fprintf(stderr, "advise failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ProgressEvent> events =
+      cli->emit_events ? session.Events() : std::vector<ProgressEvent>{};
+  JsonValue out = AdviseResponseToJson(*instance, *response,
+                                       cli->emit_partitioning, events);
+  std::printf("%s\n", out.Serialize(2).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string request_text;
+  if (argc > 2) {
+    std::fprintf(stderr, "too many arguments (try --help)\n");
+    return 2;
+  }
+  if (argc == 2) {
+    if (std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+      PrintHelp();
+      return 0;
+    }
+    if (std::strcmp(argv[1], "--template") == 0) {
+      std::printf("%s\n", kTemplate);
+      return 0;
+    }
+    if (argv[1][0] == '-' && std::strcmp(argv[1], "-") != 0) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[1]);
+      return 2;
+    }
+    if (std::strcmp(argv[1], "-") == 0) {
+      request_text = ReadAll(stdin);
+    } else {
+      std::FILE* in = std::fopen(argv[1], "r");
+      if (in == nullptr) {
+        std::fprintf(stderr, "cannot read %s\n", argv[1]);
+        return 2;
+      }
+      request_text = ReadAll(in);
+      std::fclose(in);
+    }
+  } else {
+    request_text = ReadAll(stdin);
+  }
+  return Run(request_text);
+}
