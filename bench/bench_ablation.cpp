@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cost/cost_model.h"
 #include "solver/formulation.h"
 
 namespace vpart::bench {

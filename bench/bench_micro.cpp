@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "cost/cost_model.h"
 #include "lp/simplex.h"
 #include "solver/formulation.h"
 #include "util/rng.h"

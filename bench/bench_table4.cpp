@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cost/cost_model.h"
 #include "report/partition_report.h"
 
 int main() {

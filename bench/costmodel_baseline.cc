@@ -1,0 +1,39 @@
+#include "costmodel_baseline.h"
+
+namespace vpart::bench {
+
+OldStyleCostTables::OldStyleCostTables(const Instance* instance, double p)
+    : instance_(instance), p_(p) {
+  const int num_a = instance_->num_attributes();
+  const int num_t = instance_->num_transactions();
+  c1_.assign(static_cast<size_t>(num_t) * num_a, 0.0);
+  c2_.assign(num_a, 0.0);
+  c3_.assign(static_cast<size_t>(num_t) * num_a, 0.0);
+  c4_.assign(num_a, 0.0);
+
+  const Workload& workload = instance_->workload();
+  for (int q = 0; q < instance_->num_queries(); ++q) {
+    const Query& query = workload.query(q);
+    const int t = query.transaction_id;
+    const double delta = query.is_write() ? 1.0 : 0.0;
+    for (const auto& [tbl, rows] : query.table_rows) {
+      (void)rows;
+      for (int a : instance_->schema().table(tbl).attribute_ids) {
+        const double w = instance_->W(a, q);
+        c1_[IdxTA(t, a)] += w * (1.0 - delta);
+        c2_[a] += w * delta;
+        c3_[IdxTA(t, a)] += w * (1.0 - delta);
+        c4_[a] += w * delta;
+      }
+    }
+    if (query.is_write()) {
+      for (int a : query.attributes) {
+        const double w = instance_->W(a, q);
+        c1_[IdxTA(t, a)] -= p_ * w;
+        c2_[a] += p_ * w;
+      }
+    }
+  }
+}
+
+}  // namespace vpart::bench

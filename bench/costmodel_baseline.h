@@ -1,0 +1,31 @@
+#ifndef VPART_BENCH_COSTMODEL_BASELINE_H_
+#define VPART_BENCH_COSTMODEL_BASELINE_H_
+
+#include <vector>
+
+#include "workload/instance.h"
+
+namespace vpart::bench {
+
+/// Verbatim copy of the pre-interface CostModel constructor (the "old
+/// direct path" the --cost-model bench compares against): raw instance
+/// pointer, member vectors, per-use IdxTA — the exact code
+/// CostCoefficients::Precompute replaced. Compiled in its own
+/// translation unit so its codegen context matches the old class's
+/// (an inlined or IPA-specialized copy in the timing loop optimizes
+/// better than the old path ever did and would bias the baseline fast).
+struct OldStyleCostTables {
+  const Instance* instance_;
+  double p_;
+  std::vector<double> c1_, c2_, c3_, c4_;
+
+  size_t IdxTA(int t, int a) const {
+    return static_cast<size_t>(t) * instance_->num_attributes() + a;
+  }
+
+  OldStyleCostTables(const Instance* instance, double p);
+};
+
+}  // namespace vpart::bench
+
+#endif  // VPART_BENCH_COSTMODEL_BASELINE_H_

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "api/advise.h"
+#include "cost/cost_model.h"
 #include "instances/tpcc.h"
 #include "report/table_printer.h"
 #include "solver/latency.h"

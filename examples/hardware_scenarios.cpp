@@ -1,0 +1,117 @@
+// Hardware-scenario matrix on TPC-C: advise the same schema under every
+// registered cost-model backend and show how the recommended layout (and
+// whether partitioning pays at all) depends on the storage physics —
+//
+//   paper      byte-exact main-memory store, 10-gig network (p = 8)
+//   cacheline  line-granular memory with write amplification (p = 8)
+//   disk_page  seek-dominated row store on local disk (p = 0)
+//
+// plus a latency-decorator column showing the Appendix-A exposure of each
+// recommendation at p_l = 2.
+//
+//   $ ./build/hardware_scenarios [--help]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/advise.h"
+#include "cost/cost_model_registry.h"
+#include "cost/latency_decorator.h"
+#include "instances/tpcc.h"
+#include "report/table_printer.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace vpart;
+
+constexpr double kLatencyPenalty = 2.0;
+
+void PrintHelp() {
+  std::printf(
+      "usage: hardware_scenarios\n"
+      "\n"
+      "Advises TPC-C (3 sites) under every registered cost-model backend\n"
+      "and prints the scenario matrix: objective, reduction vs single-site,\n"
+      "replication behavior, and the latency exposure of each layout.\n"
+      "\n"
+      "registered backends: %s\n",
+      JoinStrings(CostModelRegistry::Global().Names(), ", ").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+      PrintHelp();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[1]);
+    return 2;
+  }
+
+  Instance tpcc = MakeTpccInstance();
+  CostModelRegistry& registry = CostModelRegistry::Global();
+
+  TablePrinter table({"backend", "scenario", "p", "cost", "reduction",
+                      "replicated attrs", "latency@2"});
+  for (const std::string& backend : registry.Names()) {
+    auto capabilities = registry.Capabilities(backend);
+    if (!capabilities.ok()) continue;
+
+    AdviseRequest request;
+    request.num_sites = 3;
+    request.time_limit_seconds = 2.0;
+    request.cost_model.backend = backend;
+    // Local-disk physics has no network to penalize: place for access
+    // cost alone (the paper's Table-6 "local placement" setting).
+    if (!capabilities->network_transfer) request.cost.p = 0;
+
+    auto response = Advise(tpcc, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "advise under '%s' failed: %s\n", backend.c_str(),
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const AdvisorResult& result = response->result;
+
+    int replicated = 0;
+    for (int a = 0; a < tpcc.num_attributes(); ++a) {
+      if (result.partitioning.ReplicaCount(a) > 1) ++replicated;
+    }
+
+    // The decorator prices the Appendix-A exposure of any layout under any
+    // networked backend; local-disk scenarios have no round trips to pay.
+    std::string latency = "n/a";
+    if (capabilities->network_transfer) {
+      auto model = registry.Build(BorrowInstance(tpcc), request.cost,
+                                  request.cost_model);
+      if (model.ok()) {
+        LatencyDecoratedCost decorated(*model, kLatencyPenalty);
+        latency =
+            StrFormat("%.0f", decorated.LatencyTerm(result.partitioning));
+      }
+    }
+
+    table.AddRow({backend, capabilities->description,
+                  StrFormat("%g", request.cost.p),
+                  StrFormat("%.0f", result.cost),
+                  StrFormat("%.1f%%", result.reduction_percent),
+                  StrFormat("%d/%d", replicated, tpcc.num_attributes()),
+                  latency});
+  }
+  std::printf("TPC-C, 3 sites, one advise per registered cost model:\n\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "Reading the matrix: the paper and cacheline backends replicate\n"
+      "read-hot attributes because a fast network makes remote writes\n"
+      "cheap; the seek-dominated disk backend keeps fragments wide and\n"
+      "local. The latency column prices each layout's Appendix-A exposure\n"
+      "(p_l = %g per remote-touching write) via the LatencyDecoratedCost\n"
+      "wrapper without re-solving.\n",
+      kLatencyPenalty);
+  return 0;
+}

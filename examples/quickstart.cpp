@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "api/advise.h"
+#include "cost/cost_model.h"
 #include "report/partition_report.h"
 #include "util/string_util.h"
 #include "workload/instance.h"

@@ -25,6 +25,7 @@
 
 #include "api/session.h"
 #include "api/solver_registry.h"
+#include "cost/cost_model.h"
 #include "engine/batch_advisor.h"
 #include "instances/tpcc.h"
 #include "report/partition_report.h"

@@ -5,9 +5,12 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "cost/cost_model_registry.h"
+#include "cost/latency_decorator.h"
 #include "solver/attribute_groups.h"
-#include "solver/latency.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace vpart {
 
@@ -46,6 +49,7 @@ AdviseRequest FromAdvisorOptions(const AdvisorOptions& options) {
   request.num_sites = options.num_sites;
   request.num_threads = options.num_threads;
   request.cost = options.cost;
+  request.cost_model = options.cost_model;
   request.allow_replication = options.allow_replication;
   request.use_attribute_grouping = options.use_attribute_grouping;
   request.latency_penalty = options.latency_penalty;
@@ -68,11 +72,52 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   Stopwatch watch;
   AdviseResponse response;
 
-  // Optional §4 reduction; exact, so solve the reduced instance throughout.
+  // Resolve the cost-model backend up front: an unknown name or a
+  // solver/model capability mismatch must fail before any solving starts.
+  CostModelRegistry& cost_registry = CostModelRegistry::Global();
+  StatusOr<CostBackendCapabilities> cost_caps =
+      cost_registry.Capabilities(request.cost_model.backend);
+  if (!cost_caps.ok()) {
+    return NotFoundError(
+        "unknown cost model '" + request.cost_model.backend +
+        "' (available: " + JoinStrings(cost_registry.Names(), ", ") + ")");
+  }
+  if (request.latency_penalty > 0 && !cost_caps->network_transfer) {
+    return InvalidArgumentError(
+        "latency_penalty models network round trips, but cost model '" +
+        request.cost_model.backend + "' (" + cost_caps->description +
+        ") has no network transfer term");
+  }
+  if (request.cost.p > 0 && !cost_caps->network_transfer) {
+    // Not an error: the transfer term still prices bytes leaving the
+    // fragment, and a caller may weight that deliberately — but the
+    // likely cause is the p = 8 network default leaking into a local
+    // scenario, so say it loudly.
+    const std::string warning = StrFormat(
+        "cost.p=%g weights a network transfer term, but cost model '%s' "
+        "(%s) models no network; set cost.p to 0 for local placement "
+        "unless the weighting is intentional",
+        request.cost.p, request.cost_model.backend.c_str(),
+        cost_caps->description.c_str());
+    VPART_LOG(Warning) << warning;
+    response.warnings.push_back(warning);
+  }
+
+  // Optional §4 reduction; exact (for width-additive cost models), so
+  // solve the reduced instance throughout. Backends with line/page
+  // rounding price merged attributes differently than their members —
+  // grouping would distort their objective, so it is skipped, loudly.
   const Instance* solve_instance = &instance;
   StatusOr<AttributeGrouping> grouping = InvalidArgumentError("unused");
   bool grouped = false;
-  if (request.use_attribute_grouping) {
+  if (request.use_attribute_grouping && !cost_caps->additive_widths) {
+    const std::string warning =
+        "cost model '" + request.cost_model.backend +
+        "' prices attribute widths non-additively; skipping the §4 "
+        "attribute grouping (only exact for additive backends)";
+    VPART_LOG(Warning) << warning;
+    response.warnings.push_back(warning);
+  } else if (request.use_attribute_grouping) {
     grouping = BuildAttributeGrouping(instance);
     VPART_RETURN_IF_ERROR(grouping.status());
     if (grouping->num_groups() < instance.num_attributes()) {
@@ -106,8 +151,14 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
     };
   }
 
-  CostModel cost_model(solve_instance, request.cost);
-  StatusOr<SolverRun> run = (*solver)->Solve(cost_model, request, ctx);
+  // The backend prices the (possibly reduced) solve instance; Borrow is
+  // sound here because the synchronous solve cannot outlive this frame —
+  // sessions own the instance via shared_ptr one layer up.
+  StatusOr<std::shared_ptr<const CostCoefficients>> solve_model =
+      cost_registry.Build(BorrowInstance(*solve_instance), request.cost,
+                          request.cost_model);
+  VPART_RETURN_IF_ERROR(solve_model.status());
+  StatusOr<SolverRun> run = (*solver)->Solve(**solve_model, request, ctx);
   VPART_RETURN_IF_ERROR(run.status());
 
   AdvisorResult& result = response.result;
@@ -117,16 +168,30 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   VPART_RETURN_IF_ERROR(ValidatePartitioning(instance, result.partitioning,
                                              !request.allow_replication));
 
-  CostModel full_model(&instance, request.cost);
-  result.cost = full_model.Objective(result.partitioning);
-  result.breakdown = full_model.Breakdown(result.partitioning);
+  // Price the result on the original instance: reuse the solve model when
+  // no grouping happened (same instance, same coefficients), and fold the
+  // Appendix-A exposure in through the composable latency decorator.
+  std::shared_ptr<const CostCoefficients> full_model = *solve_model;
+  if (grouped) {
+    StatusOr<std::shared_ptr<const CostCoefficients>> rebuilt =
+        cost_registry.Build(BorrowInstance(instance), request.cost,
+                            request.cost_model);
+    VPART_RETURN_IF_ERROR(rebuilt.status());
+    full_model = *rebuilt;
+  }
+  result.cost = full_model->Objective(result.partitioning);
+  result.breakdown = full_model->Breakdown(result.partitioning);
+  // `result.cost`/`breakdown` stay the base objective (4) — what every
+  // paper table reports; the Appendix-A exposure (the same ψ-term the
+  // LatencyDecoratedCost wrapper adds, priced here without paying the
+  // decorator's table copy) is surfaced separately.
   if (request.latency_penalty > 0) {
-    result.latency_cost = LatencyCost(instance, result.partitioning,
-                                      request.latency_penalty);
+    result.latency_cost =
+        LatencyCost(instance, result.partitioning, request.latency_penalty);
   }
   const Partitioning baseline =
       SingleSiteBaseline(instance, /*num_sites=*/1);
-  result.single_site_cost = full_model.Objective(baseline);
+  result.single_site_cost = full_model->Objective(baseline);
   result.reduction_percent =
       result.single_site_cost > 0
           ? 100.0 * (1.0 - result.cost / result.single_site_cost)
@@ -138,6 +203,7 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   result.seconds = watch.ElapsedSeconds();
 
   response.solver_used = *resolved;
+  response.cost_model_used = request.cost_model.backend;
   if (hooks.user_cancelled != nullptr &&
       hooks.user_cancelled->load(std::memory_order_relaxed)) {
     response.outcome = AdviseOutcome::kCancelled;
@@ -151,7 +217,7 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
     done.elapsed = result.seconds;
     done.best_cost = result.cost;
     done.bound = result.proven_optimal
-                     ? full_model.ScalarizedObjective(result.partitioning)
+                     ? full_model->ScalarizedObjective(result.partitioning)
                      : -std::numeric_limits<double>::infinity();
     done.gap = result.proven_optimal ? 0.0 : 100.0;
     done.detail = response.incumbents;

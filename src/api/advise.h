@@ -7,7 +7,8 @@
 #include <vector>
 
 #include "api/events.h"
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
+#include "cost/cost_model_spec.h"
 #include "engine/thread_pool.h"
 #include "solver/advisor.h"
 #include "util/status.h"
@@ -72,7 +73,15 @@ struct AdviseRequest {
   /// Worker threads granted to the solve. "auto" picks the portfolio
   /// whenever more than one is granted (and the objective allows it).
   int num_threads = 1;
-  CostParams cost;  // p and λ
+  /// Family-wide cost knobs (network weight p, load-balance λ) shared by
+  /// every backend.
+  CostParams cost;
+  /// Which cost-model backend prices the placement ("paper", "cacheline",
+  /// "disk_page", or any custom-registered name) plus its per-backend
+  /// option blocks. Resolved via CostModelRegistry; unknown names and
+  /// capability mismatches (e.g. latency_penalty over a backend with no
+  /// network transfer term) fail before any solving starts.
+  CostModelSpec cost_model;
   bool allow_replication = true;
   /// Apply the §4 reasonable-cuts reduction before solving (exact).
   bool use_attribute_grouping = true;
@@ -106,6 +115,8 @@ struct AdviseResponse {
   /// Registry name of the solver that actually ran ("ilp", "sa", ...);
   /// resolves "auto" so callers see the real choice.
   std::string solver_used;
+  /// Registry name of the cost-model backend that priced the solve.
+  std::string cost_model_used;
   AdviseOutcome outcome = AdviseOutcome::kComplete;
   /// Human-readable advisories: capability downgrades ("auto" skipping the
   /// portfolio under latency_penalty), ignored blocks, etc.

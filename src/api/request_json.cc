@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "cost/cost_model_registry.h"
 #include "instances/random_instance.h"
 #include "instances/tpcc.h"
 #include "util/string_util.h"
@@ -170,6 +171,44 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
         cost_reader.ReadDouble("lambda", &request.cost.lambda));
     VPART_RETURN_IF_ERROR(cost_reader.CheckNoUnknownKeys());
   }
+  if (const JsonValue* cost_model = reader.Find("cost_model")) {
+    if (!cost_model->is_object()) {
+      return InvalidArgumentError("\"cost_model\" must be an object");
+    }
+    ObjectReader model_reader(*cost_model, "\"cost_model\"");
+    VPART_RETURN_IF_ERROR(
+        model_reader.ReadString("backend", &request.cost_model.backend));
+    if (const JsonValue* cacheline = model_reader.Find("cacheline")) {
+      if (!cacheline->is_object()) {
+        return InvalidArgumentError("\"cacheline\" must be an object");
+      }
+      CachelineCostOptions& o = request.cost_model.cacheline;
+      ObjectReader cl_reader(*cacheline, "\"cost_model.cacheline\"");
+      VPART_RETURN_IF_ERROR(cl_reader.ReadDouble("line_bytes", &o.line_bytes));
+      VPART_RETURN_IF_ERROR(
+          cl_reader.ReadDouble("row_header_bytes", &o.row_header_bytes));
+      VPART_RETURN_IF_ERROR(
+          cl_reader.ReadDouble("read_factor", &o.read_factor));
+      VPART_RETURN_IF_ERROR(
+          cl_reader.ReadDouble("write_factor", &o.write_factor));
+      VPART_RETURN_IF_ERROR(cl_reader.ReadDouble("transfer_header_bytes",
+                                                 &o.transfer_header_bytes));
+      VPART_RETURN_IF_ERROR(cl_reader.CheckNoUnknownKeys());
+    }
+    if (const JsonValue* disk_page = model_reader.Find("disk_page")) {
+      if (!disk_page->is_object()) {
+        return InvalidArgumentError("\"disk_page\" must be an object");
+      }
+      DiskPageCostOptions& o = request.cost_model.disk_page;
+      ObjectReader dp_reader(*disk_page, "\"cost_model.disk_page\"");
+      VPART_RETURN_IF_ERROR(dp_reader.ReadDouble("page_bytes", &o.page_bytes));
+      VPART_RETURN_IF_ERROR(dp_reader.ReadDouble("seek_pages", &o.seek_pages));
+      VPART_RETURN_IF_ERROR(
+          dp_reader.ReadDouble("write_factor", &o.write_factor));
+      VPART_RETURN_IF_ERROR(dp_reader.CheckNoUnknownKeys());
+    }
+    VPART_RETURN_IF_ERROR(model_reader.CheckNoUnknownKeys());
+  }
   if (const JsonValue* ilp = reader.Find("ilp")) {
     if (!ilp->is_object()) {
       return InvalidArgumentError("\"ilp\" must be an object");
@@ -247,6 +286,13 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
         "unknown solver \"" + request.solver + "\" (available: auto, " +
         JoinStrings(SolverRegistry::Global().Names(), ", ") + ")");
   }
+  if (!CostModelRegistry::Global().Contains(request.cost_model.backend)) {
+    return InvalidArgumentError(
+        "unknown cost model \"" + request.cost_model.backend +
+        "\" (available: " +
+        JoinStrings(CostModelRegistry::Global().Names(), ", ") + ")");
+  }
+  VPART_RETURN_IF_ERROR(ValidateCostModelSpec(request.cost_model));
   return cli;
 }
 
@@ -310,6 +356,7 @@ JsonValue AdviseResponseToJson(const Instance& instance,
   out.Set("status", AdviseOutcomeName(response.outcome));
   out.Set("instance", instance.name());
   out.Set("solver_used", response.solver_used);
+  out.Set("cost_model", response.cost_model_used);
   out.Set("algorithm", result.algorithm_used);
   out.Set("cost", result.cost);
   out.Set("single_site_cost", result.single_site_cost);

@@ -24,6 +24,13 @@ namespace vpart {
 ///     "solver": "auto",                          // registry name
 ///     "num_sites": 3, "num_threads": 4,
 ///     "cost": {"p": 8, "lambda": 0.1},
+///     "cost_model": {"backend": "paper",          // or "cacheline",
+///                                                 // "disk_page", custom
+///       "cacheline": {"line_bytes": 64, "row_header_bytes": 4,
+///                     "read_factor": 1, "write_factor": 2,
+///                     "transfer_header_bytes": 0},
+///       "disk_page": {"page_bytes": 8192, "seek_pages": 1,
+///                     "write_factor": 2}},
 ///     "allow_replication": true,
 ///     "use_attribute_grouping": true,
 ///     "latency_penalty": 0,

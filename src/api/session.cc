@@ -1,13 +1,20 @@
 #include "api/session.h"
 
+#include <cassert>
 #include <utility>
 
 namespace vpart {
 
-AdviseSession::AdviseSession(const Instance& instance, AdviseRequest request)
-    : instance_(instance),
+AdviseSession::AdviseSession(std::shared_ptr<const Instance> instance,
+                             AdviseRequest request)
+    : instance_(std::move(instance)),
       request_(std::move(request)),
-      token_(CancellationToken::WithDeadline(request_.time_limit_seconds)) {}
+      token_(CancellationToken::WithDeadline(request_.time_limit_seconds)) {
+  assert(instance_ != nullptr);
+}
+
+AdviseSession::AdviseSession(const Instance& instance, AdviseRequest request)
+    : AdviseSession(BorrowInstance(instance), std::move(request)) {}
 
 AdviseSession::~AdviseSession() {
   Cancel();
@@ -110,7 +117,7 @@ void AdviseSession::Run() {
   };
 
   StatusOr<AdviseResponse> response =
-      AdviseWithHooks(instance_, request_, hooks);
+      AdviseWithHooks(*instance_, request_, hooks);
 
   std::lock_guard<std::mutex> lock(mu_);
   response_ = std::move(response);

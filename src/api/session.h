@@ -10,6 +10,7 @@
 
 #include "api/advise.h"
 #include "api/events.h"
+#include "cost/cost_coefficients.h"
 #include "engine/thread_pool.h"
 #include "util/status.h"
 
@@ -33,14 +34,23 @@ namespace vpart {
 /// AdviseOutcome::kCancelled. The destructor cancels and joins, so a
 /// session never outlives its solve thread.
 ///
-/// The caller keeps `instance` and alive until the session is destroyed or
-/// Wait() returned. Callbacks fire on the solver threads (see
+/// The session holds its instance by std::shared_ptr<const Instance>, so
+/// the solve thread can never outlive the instance it prices: construct
+/// with a shared_ptr and the session co-owns it; the const-reference
+/// convenience constructor merely borrows (the caller must then keep
+/// `instance` alive until the session is destroyed or Wait() returned).
+/// Callbacks fire on the solver threads (see
 /// api/events.h); Events()/BestIncumbent()/state() are safe from any
 /// thread, including inside callbacks.
 class AdviseSession {
  public:
   enum class State { kIdle, kRunning, kDone };
 
+  /// Co-owning: the session keeps `instance` alive for its whole solve.
+  AdviseSession(std::shared_ptr<const Instance> instance,
+                AdviseRequest request);
+  /// Borrowing convenience for scoped embeddings; the caller keeps
+  /// `instance` alive (see the class comment).
   AdviseSession(const Instance& instance, AdviseRequest request);
   ~AdviseSession();
 
@@ -86,7 +96,7 @@ class AdviseSession {
  private:
   void Run();
 
-  const Instance& instance_;
+  const std::shared_ptr<const Instance> instance_;
   const AdviseRequest request_;
   CancellationToken token_;
   std::atomic<bool> user_cancelled_{false};

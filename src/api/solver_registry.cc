@@ -34,7 +34,7 @@ double GapPercent(double incumbent, double bound) {
 
 class ExhaustiveAdapter : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     Stopwatch watch;
@@ -92,7 +92,7 @@ class ExhaustiveAdapter : public Solver {
 
 class SaAdapter : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     SaOptions sa;
@@ -137,7 +137,7 @@ class SaAdapter : public Solver {
 
 class IlpAdapter : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     IlpSolverOptions ilp;
@@ -225,7 +225,7 @@ class IlpAdapter : public Solver {
 
 class IncrementalAdapter : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     IncrementalOptions inc;
@@ -272,7 +272,7 @@ class IncrementalAdapter : public Solver {
 
 class PortfolioAdapter : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     PortfolioOptions portfolio;

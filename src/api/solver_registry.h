@@ -10,7 +10,7 @@
 
 #include "api/advise.h"
 #include "api/events.h"
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 #include "engine/thread_pool.h"
 #include "util/status.h"
 
@@ -61,7 +61,7 @@ struct SolverRun {
 class Solver {
  public:
   virtual ~Solver() = default;
-  virtual StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  virtual StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                                     const AdviseRequest& request,
                                     const SolveContext& ctx) = 0;
 };

@@ -1,0 +1,100 @@
+#include "cost/cost_backends.h"
+
+#include <cmath>
+#include <utility>
+
+namespace vpart {
+namespace {
+
+/// Rows query q touches in attribute a's table, with q's frequency applied.
+/// Returns 0 when the table is listed with no rows (COUNT(*)-style access
+/// contributes no per-attribute bytes, matching the paper's W = 0 there).
+double RowVolume(const Instance& instance, int a, int q, double* rows_out) {
+  const Attribute& attribute = instance.schema().attribute(a);
+  const Query& query = instance.workload().query(q);
+  const double rows = query.RowsInTable(attribute.table_id);
+  *rows_out = rows;
+  return rows > 0.0 ? query.frequency : 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// cacheline
+// ---------------------------------------------------------------------------
+
+CachelineCostModel::CachelineCostModel(
+    std::shared_ptr<const Instance> instance, CostParams params,
+    CachelineCostOptions options)
+    : CostCoefficients(std::move(instance), params, kCostModelCacheline),
+      options_(options) {
+  Precompute([this](int a, int q) { return AccessWeight(a, q); },
+             [this](int a, int q) { return TransferWeight(a, q); });
+}
+
+double CachelineCostModel::AccessWeight(int a, int q) const {
+  double rows = 0.0;
+  const double freq = RowVolume(instance(), a, q, &rows);
+  if (freq == 0.0) return 0.0;
+  const double width = instance().schema().attribute(a).width;
+  const double lines =
+      std::ceil((options_.row_header_bytes + width) / options_.line_bytes);
+  const double factor = instance().workload().query(q).is_write()
+                            ? options_.write_factor
+                            : options_.read_factor;
+  return factor * freq * rows * lines * options_.line_bytes;
+}
+
+double CachelineCostModel::TransferWeight(int a, int q) const {
+  double rows = 0.0;
+  const double freq = RowVolume(instance(), a, q, &rows);
+  if (freq == 0.0) return 0.0;
+  const double width = instance().schema().attribute(a).width;
+  return freq * rows * (width + options_.transfer_header_bytes);
+}
+
+std::unique_ptr<CostCoefficients> CachelineCostModel::Rebind(
+    std::shared_ptr<const Instance> instance) const {
+  return std::make_unique<CachelineCostModel>(std::move(instance), params(),
+                                              options_);
+}
+
+// ---------------------------------------------------------------------------
+// disk_page
+// ---------------------------------------------------------------------------
+
+DiskPageCostModel::DiskPageCostModel(std::shared_ptr<const Instance> instance,
+                                     CostParams params,
+                                     DiskPageCostOptions options)
+    : CostCoefficients(std::move(instance), params, kCostModelDiskPage),
+      options_(options) {
+  Precompute([this](int a, int q) { return AccessWeight(a, q); },
+             [this](int a, int q) { return TransferWeight(a, q); });
+}
+
+double DiskPageCostModel::AccessWeight(int a, int q) const {
+  double rows = 0.0;
+  const double freq = RowVolume(instance(), a, q, &rows);
+  if (freq == 0.0) return 0.0;
+  const double width = instance().schema().attribute(a).width;
+  const double pages = std::ceil(rows * width / options_.page_bytes);
+  const double factor = instance().workload().query(q).is_write()
+                            ? options_.write_factor
+                            : 1.0;
+  return factor * freq * (options_.seek_pages + pages) * options_.page_bytes;
+}
+
+double DiskPageCostModel::TransferWeight(int a, int q) const {
+  double rows = 0.0;
+  const double freq = RowVolume(instance(), a, q, &rows);
+  if (freq == 0.0) return 0.0;
+  return freq * rows * instance().schema().attribute(a).width;
+}
+
+std::unique_ptr<CostCoefficients> DiskPageCostModel::Rebind(
+    std::shared_ptr<const Instance> instance) const {
+  return std::make_unique<DiskPageCostModel>(std::move(instance), params(),
+                                             options_);
+}
+
+}  // namespace vpart

@@ -1,0 +1,70 @@
+#ifndef VPART_COST_COST_BACKENDS_H_
+#define VPART_COST_COST_BACKENDS_H_
+
+#include <memory>
+
+#include "cost/cost_coefficients.h"
+#include "cost/cost_model_spec.h"
+
+namespace vpart {
+
+/// "cacheline" backend: cache-line-granular main-memory storage layer with
+/// per-row framing and read/write asymmetry (see CachelineCostOptions).
+/// Access physics per (attribute a, query q):
+///
+///   access(a,q)  = factor(q) · f_q · n_{r,q} ·
+///                  ceil((row_header + w_a)/line) · line
+///   transfer(a,q) = f_q · n_{r,q} · (w_a + transfer_header)
+///
+/// where factor is read_factor or write_factor. Narrow attributes round up
+/// to whole lines, so this backend — unlike the paper's — rewards packing
+/// hot narrow columns together and penalizes replicating wide ones more
+/// steeply on the write side.
+class CachelineCostModel final : public CostCoefficients {
+ public:
+  CachelineCostModel(std::shared_ptr<const Instance> instance,
+                     CostParams params, CachelineCostOptions options);
+
+  const CachelineCostOptions& options() const { return options_; }
+
+  double TransferWeight(int a, int q) const override;
+
+  std::unique_ptr<CostCoefficients> Rebind(
+      std::shared_ptr<const Instance> instance) const override;
+
+ private:
+  double AccessWeight(int a, int q) const;
+
+  CachelineCostOptions options_;
+};
+
+/// "disk_page" backend: Navathe-style block-access model for a row store on
+/// disk (see DiskPageCostOptions). Access physics per (attribute, query):
+///
+///   access(a,q)  = factor(q) · f_q · (seek_pages + ceil(n·w_a/page)) · page
+///   transfer(a,q) = f_q · n_{r,q} · w_a            (raw bytes)
+///
+/// The per-access seek makes every extra fragment a query must touch
+/// expensive regardless of width — the classic disk-era pressure toward few
+/// wide fragments, opposite to what fast networks reward.
+class DiskPageCostModel final : public CostCoefficients {
+ public:
+  DiskPageCostModel(std::shared_ptr<const Instance> instance,
+                    CostParams params, DiskPageCostOptions options);
+
+  const DiskPageCostOptions& options() const { return options_; }
+
+  double TransferWeight(int a, int q) const override;
+
+  std::unique_ptr<CostCoefficients> Rebind(
+      std::shared_ptr<const Instance> instance) const override;
+
+ private:
+  double AccessWeight(int a, int q) const;
+
+  DiskPageCostOptions options_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_COST_COST_BACKENDS_H_

@@ -1,0 +1,135 @@
+#include "cost/cost_coefficients.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace vpart {
+
+std::shared_ptr<const Instance> BorrowInstance(const Instance& instance) {
+  // Aliasing constructor with an empty owner: no control block, no
+  // ownership — a shared_ptr-shaped raw pointer for scoped lifetimes.
+  return std::shared_ptr<const Instance>(std::shared_ptr<const Instance>(),
+                                         &instance);
+}
+
+CostCoefficients::CostCoefficients(std::shared_ptr<const Instance> instance,
+                                   CostParams params, std::string backend)
+    : instance_(std::move(instance)),
+      params_(params),
+      backend_(std::move(backend)) {
+  assert(instance_ != nullptr);
+}
+
+CostCoefficients::CostCoefficients(const CostCoefficients& other,
+                                   std::string backend)
+    : instance_(other.instance_),
+      params_(other.params_),
+      backend_(std::move(backend)),
+      c1_(other.c1_),
+      c2_(other.c2_),
+      c3_(other.c3_),
+      c4_(other.c4_) {}
+
+double CostCoefficients::Objective(const Partitioning& partitioning) const {
+  const int num_a = instance_->num_attributes();
+  const int num_t = instance_->num_transactions();
+  double objective = 0.0;
+  for (int t = 0; t < num_t; ++t) {
+    const int s = partitioning.SiteOfTransaction(t);
+    assert(s >= 0 && s < partitioning.num_sites());
+    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
+      if (partitioning.HasAttribute(a, s)) objective += c1_[IdxTA(t, a)];
+    }
+  }
+  for (int a = 0; a < num_a; ++a) {
+    if (c2_[a] != 0.0) objective += c2_[a] * partitioning.ReplicaCount(a);
+  }
+  return objective;
+}
+
+CostBreakdown CostCoefficients::Breakdown(
+    const Partitioning& partitioning) const {
+  CostBreakdown breakdown;
+  const Workload& workload = instance_->workload();
+  // A_R: for each read query, all attributes of accessed tables found on the
+  // transaction's site (single-sitedness guarantees the referenced ones are
+  // there; β-siblings are charged when co-located, matching the model).
+  for (int t = 0; t < instance_->num_transactions(); ++t) {
+    const int s = partitioning.SiteOfTransaction(t);
+    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
+      if (partitioning.HasAttribute(a, s)) {
+        breakdown.read_access += c3_[IdxTA(t, a)];
+      }
+    }
+  }
+  // A_W: write queries write to every site holding a fraction of an accessed
+  // table ("access all attributes" accounting).
+  for (int a = 0; a < instance_->num_attributes(); ++a) {
+    breakdown.write_access += c4_[a] * partitioning.ReplicaCount(a);
+  }
+  // B: write queries ship each written attribute to every replica site other
+  // than their own transaction's site.
+  for (int q = 0; q < instance_->num_queries(); ++q) {
+    const Query& query = workload.query(q);
+    if (!query.is_write()) continue;
+    const int s = partitioning.SiteOfTransaction(query.transaction_id);
+    for (int a : query.attributes) {
+      int remote = partitioning.ReplicaCount(a) -
+                   (partitioning.HasAttribute(a, s) ? 1 : 0);
+      breakdown.transfer += TransferWeight(a, q) * remote;
+    }
+  }
+  breakdown.total = breakdown.read_access + breakdown.write_access +
+                    params_.p * breakdown.transfer;
+  return breakdown;
+}
+
+double CostCoefficients::SiteLoad(const Partitioning& partitioning,
+                                  int s) const {
+  double load = 0.0;
+  for (int t = 0; t < instance_->num_transactions(); ++t) {
+    if (partitioning.SiteOfTransaction(t) != s) continue;
+    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
+      if (partitioning.HasAttribute(a, s)) load += c3_[IdxTA(t, a)];
+    }
+  }
+  for (int a = 0; a < instance_->num_attributes(); ++a) {
+    if (c4_[a] != 0.0 && partitioning.HasAttribute(a, s)) load += c4_[a];
+  }
+  return load;
+}
+
+double CostCoefficients::MaxLoad(const Partitioning& partitioning) const {
+  double max_load = 0.0;
+  for (int s = 0; s < partitioning.num_sites(); ++s) {
+    max_load = std::max(max_load, SiteLoad(partitioning, s));
+  }
+  return max_load;
+}
+
+double CostCoefficients::ScalarizedObjective(
+    const Partitioning& partitioning) const {
+  return (1.0 - params_.lambda) * Objective(partitioning) +
+         params_.lambda * MaxLoad(partitioning);
+}
+
+double CostCoefficients::TransactionOnSiteCost(const Partitioning& partitioning,
+                                               int t, int s) const {
+  double cost = 0.0;
+  for (int a : instance_->TouchedAttributesOfTransaction(t)) {
+    if (partitioning.HasAttribute(a, s)) cost += c1_[IdxTA(t, a)];
+  }
+  return cost;
+}
+
+double CostCoefficients::AttributeOnSiteCost(const Partitioning& partitioning,
+                                             int a, int s) const {
+  double cost = c2_[a];
+  for (int t = 0; t < instance_->num_transactions(); ++t) {
+    if (partitioning.SiteOfTransaction(t) == s) cost += c1_[IdxTA(t, a)];
+  }
+  return cost;
+}
+
+}  // namespace vpart

@@ -1,143 +1,25 @@
 #include "cost/cost_model.h"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "cost/cost_model_registry.h"
 
 namespace vpart {
 
+CostModel::CostModel(std::shared_ptr<const Instance> instance,
+                     CostParams params)
+    : CostCoefficients(std::move(instance), params, kCostModelPaper) {
+  Precompute();
+}
+
 CostModel::CostModel(const Instance* instance, CostParams params)
-    : instance_(instance), params_(params) {
-  assert(instance != nullptr);
-  const int num_a = instance_->num_attributes();
-  const int num_t = instance_->num_transactions();
-  c1_.assign(static_cast<size_t>(num_t) * num_a, 0.0);
-  c2_.assign(num_a, 0.0);
-  c3_.assign(static_cast<size_t>(num_t) * num_a, 0.0);
-  c4_.assign(num_a, 0.0);
+    : CostModel((assert(instance != nullptr), BorrowInstance(*instance)),
+                params) {}
 
-  const Workload& workload = instance_->workload();
-  for (int q = 0; q < instance_->num_queries(); ++q) {
-    const Query& query = workload.query(q);
-    const int t = query.transaction_id;
-    const double delta = query.is_write() ? 1.0 : 0.0;
-    // β support of q: all attributes of accessed tables.
-    for (const auto& [tbl, rows] : query.table_rows) {
-      (void)rows;
-      for (int a : instance_->schema().table(tbl).attribute_ids) {
-        const double w = instance_->W(a, q);
-        c1_[IdxTA(t, a)] += w * (1.0 - delta);  // β(1−δ) part
-        c2_[a] += w * delta;                    // β·δ part
-        c3_[IdxTA(t, a)] += w * (1.0 - delta);
-        c4_[a] += w * delta;
-      }
-    }
-    // α support of q (referenced attributes): the transfer terms.
-    if (query.is_write()) {
-      for (int a : query.attributes) {
-        const double w = instance_->W(a, q);
-        c1_[IdxTA(t, a)] -= params_.p * w;  // −p·α·δ part
-        c2_[a] += params_.p * w;            // +p·α·δ part
-      }
-    }
-  }
-}
-
-double CostModel::Objective(const Partitioning& partitioning) const {
-  const int num_a = instance_->num_attributes();
-  const int num_t = instance_->num_transactions();
-  double objective = 0.0;
-  for (int t = 0; t < num_t; ++t) {
-    const int s = partitioning.SiteOfTransaction(t);
-    assert(s >= 0 && s < partitioning.num_sites());
-    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
-      if (partitioning.HasAttribute(a, s)) objective += c1_[IdxTA(t, a)];
-    }
-  }
-  for (int a = 0; a < num_a; ++a) {
-    if (c2_[a] != 0.0) objective += c2_[a] * partitioning.ReplicaCount(a);
-  }
-  return objective;
-}
-
-CostBreakdown CostModel::Breakdown(const Partitioning& partitioning) const {
-  CostBreakdown breakdown;
-  const Workload& workload = instance_->workload();
-  // A_R: for each read query, all attributes of accessed tables found on the
-  // transaction's site (single-sitedness guarantees the referenced ones are
-  // there; β-siblings are charged when co-located, matching the model).
-  for (int t = 0; t < instance_->num_transactions(); ++t) {
-    const int s = partitioning.SiteOfTransaction(t);
-    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
-      if (partitioning.HasAttribute(a, s)) {
-        breakdown.read_access += c3_[IdxTA(t, a)];
-      }
-    }
-  }
-  // A_W: write queries write to every site holding a fraction of an accessed
-  // table ("access all attributes" accounting).
-  for (int a = 0; a < instance_->num_attributes(); ++a) {
-    breakdown.write_access += c4_[a] * partitioning.ReplicaCount(a);
-  }
-  // B: write queries ship each written attribute to every replica site other
-  // than their own transaction's site.
-  for (int q = 0; q < instance_->num_queries(); ++q) {
-    const Query& query = workload.query(q);
-    if (!query.is_write()) continue;
-    const int s = partitioning.SiteOfTransaction(query.transaction_id);
-    for (int a : query.attributes) {
-      int remote = partitioning.ReplicaCount(a) -
-                   (partitioning.HasAttribute(a, s) ? 1 : 0);
-      breakdown.transfer += instance_->W(a, q) * remote;
-    }
-  }
-  breakdown.total = breakdown.read_access + breakdown.write_access +
-                    params_.p * breakdown.transfer;
-  return breakdown;
-}
-
-double CostModel::SiteLoad(const Partitioning& partitioning, int s) const {
-  double load = 0.0;
-  for (int t = 0; t < instance_->num_transactions(); ++t) {
-    if (partitioning.SiteOfTransaction(t) != s) continue;
-    for (int a : instance_->TouchedAttributesOfTransaction(t)) {
-      if (partitioning.HasAttribute(a, s)) load += c3_[IdxTA(t, a)];
-    }
-  }
-  for (int a = 0; a < instance_->num_attributes(); ++a) {
-    if (c4_[a] != 0.0 && partitioning.HasAttribute(a, s)) load += c4_[a];
-  }
-  return load;
-}
-
-double CostModel::MaxLoad(const Partitioning& partitioning) const {
-  double max_load = 0.0;
-  for (int s = 0; s < partitioning.num_sites(); ++s) {
-    max_load = std::max(max_load, SiteLoad(partitioning, s));
-  }
-  return max_load;
-}
-
-double CostModel::ScalarizedObjective(const Partitioning& partitioning) const {
-  return (1.0 - params_.lambda) * Objective(partitioning) +
-         params_.lambda * MaxLoad(partitioning);
-}
-
-double CostModel::TransactionOnSiteCost(const Partitioning& partitioning,
-                                        int t, int s) const {
-  double cost = 0.0;
-  for (int a : instance_->TouchedAttributesOfTransaction(t)) {
-    if (partitioning.HasAttribute(a, s)) cost += c1_[IdxTA(t, a)];
-  }
-  return cost;
-}
-
-double CostModel::AttributeOnSiteCost(const Partitioning& partitioning, int a,
-                                      int s) const {
-  double cost = c2_[a];
-  for (int t = 0; t < instance_->num_transactions(); ++t) {
-    if (partitioning.SiteOfTransaction(t) == s) cost += c1_[IdxTA(t, a)];
-  }
-  return cost;
+std::unique_ptr<CostCoefficients> CostModel::Rebind(
+    std::shared_ptr<const Instance> instance) const {
+  return std::make_unique<CostModel>(std::move(instance), params());
 }
 
 }  // namespace vpart

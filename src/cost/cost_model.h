@@ -1,101 +1,35 @@
 #ifndef VPART_COST_COST_MODEL_H_
 #define VPART_COST_COST_MODEL_H_
 
-#include <vector>
+#include <memory>
 
+#include "cost/cost_coefficients.h"
 #include "cost/partitioning.h"
 #include "workload/instance.h"
 
 namespace vpart {
 
-/// Tunables of the paper's cost model (§2, §5).
-struct CostParams {
-  /// Network penalty factor p: bytes transferred between sites cost p times
-  /// a local storage-layer byte. The paper estimates p ∈ [3, 128] and uses
-  /// p = 8 (10-gigabit network). p = 0 simulates local partition placement
-  /// (Table 6).
-  double p = 8.0;
-
-  /// Load-balancing weight λ ∈ [0, 1]: minimize (1−λ)·cost + λ·max-load.
-  /// λ = 0 disables load balancing entirely. The paper's experiments use
-  /// λ = 0.1 ("we mainly focus on minimizing the total costs and therefore
-  /// set λ low"; "the model will choose the more load balanced layout if
-  /// there is a cost draw"). Note: the paper's printed eq. (6) swaps the
-  /// two weights, contradicting that §5 text and its own results; we follow
-  /// the text (see DESIGN.md's typo list).
-  double lambda = 0.1;
-};
-
-/// Objective (4) split into its physical components.
-struct CostBreakdown {
-  double read_access = 0.0;   // A_R: storage-layer bytes read
-  double write_access = 0.0;  // A_W: storage-layer bytes written
-  double transfer = 0.0;      // B: bytes shipped between sites (unweighted)
-  /// A_R + A_W + p·B = objective (4).
-  double total = 0.0;
-};
-
-/// Precomputed cost coefficients c1..c4 of the paper plus evaluation of
-/// objectives (4), (5) and (6) for concrete partitionings. Immutable after
-/// construction; the referenced Instance must outlive the model.
-class CostModel {
+/// The paper's cost model (§2, §5) — the "paper" backend of the cost-model
+/// registry and the historical concrete class: a main-memory storage layer
+/// where reading or writing attribute a for query q costs W_{a,q} =
+/// w_a·f_q·n_{r,q} bytes and every remote replica of a written attribute
+/// ships the same W_{a,q} bytes, weighted p, over the network. The
+/// coefficient assembly and evaluation live in CostCoefficients; this class
+/// only pins the physics (the base AccessWeight/TransferWeight defaults ARE
+/// the paper's weights).
+class CostModel final : public CostCoefficients {
  public:
+  /// Owning handle: the model shares `instance`, so solver/session/portfolio
+  /// threads holding the model keep the instance alive.
+  CostModel(std::shared_ptr<const Instance> instance, CostParams params);
+
+  /// Borrowing convenience for scoped call sites (stack instances in tests
+  /// and benches): the caller must keep `instance` alive; anything that
+  /// crosses a thread boundary should use the shared_ptr constructor.
   CostModel(const Instance* instance, CostParams params);
 
-  const Instance& instance() const { return *instance_; }
-  const CostParams& params() const { return params_; }
-
-  /// c1(a,t) = Σ_q W·γ·(β(1−δ) − p·α·δ): per-(attribute, transaction)
-  /// objective coefficient of x_{t,s}·y_{a,s}.
-  double c1(int a, int t) const { return c1_[IdxTA(t, a)]; }
-  /// c2(a) = Σ_q W·δ·(β + p·α): per-attribute coefficient of y_{a,s}.
-  double c2(int a) const { return c2_[a]; }
-  /// c3(a,t) = Σ_q W·γ·β·(1−δ): read-load coefficient (eq. 5).
-  double c3(int a, int t) const { return c3_[IdxTA(t, a)]; }
-  /// c4(a) = Σ_q W·β·δ: write-load coefficient (eq. 5).
-  double c4(int a) const { return c4_[a]; }
-
-  /// Objective (4): Σ c1·x·y + Σ c2·y — the "actual cost" the paper reports
-  /// in every table. Requires all transactions assigned.
-  double Objective(const Partitioning& partitioning) const;
-
-  /// Objective (4) recomputed from first principles (A_R + A_W + p·B);
-  /// `total` must equal Objective() up to rounding — unit tested.
-  CostBreakdown Breakdown(const Partitioning& partitioning) const;
-
-  /// Eq. (5): work of site s.
-  double SiteLoad(const Partitioning& partitioning, int s) const;
-
-  /// max_s SiteLoad(s) — the m of the load-balanced model.
-  double MaxLoad(const Partitioning& partitioning) const;
-
-  /// Eq. (6) as intended: (1−λ)·Objective + λ·MaxLoad. This is what the
-  /// solvers minimize; Objective() is what gets reported.
-  double ScalarizedObjective(const Partitioning& partitioning) const;
-
-  /// Σ_a c1(a,t)·y[a][s]: cost contribution of placing transaction t on s
-  /// given the attribute placement in `partitioning`. Used by the SA solver
-  /// and the exhaustive enumerator.
-  double TransactionOnSiteCost(const Partitioning& partitioning, int t,
-                               int s) const;
-
-  /// Objective-(4) delta coefficient of adding a replica of attribute a on
-  /// site s: c2(a) + Σ_{t on s} c1(a,t). Negative values mean replication
-  /// pays for itself (transfer saved exceeds write amplification).
-  double AttributeOnSiteCost(const Partitioning& partitioning, int a,
-                             int s) const;
-
- private:
-  size_t IdxTA(int t, int a) const {
-    return static_cast<size_t>(t) * instance_->num_attributes() + a;
-  }
-
-  const Instance* instance_;
-  CostParams params_;
-  std::vector<double> c1_;  // |T| x |A|
-  std::vector<double> c2_;  // |A|
-  std::vector<double> c3_;  // |T| x |A|
-  std::vector<double> c4_;  // |A|
+  std::unique_ptr<CostCoefficients> Rebind(
+      std::shared_ptr<const Instance> instance) const override;
 };
 
 }  // namespace vpart

@@ -1,0 +1,196 @@
+#include "cost/cost_model_registry.h"
+
+#include <utility>
+
+#include "cost/cost_backends.h"
+#include "cost/cost_model.h"
+#include "util/string_util.h"
+
+namespace vpart {
+namespace {
+
+Status ValidatePositive(const char* name, double value) {
+  if (!(value > 0.0)) {
+    return InvalidArgumentError(StrFormat("%s must be > 0 (got %g)", name,
+                                          value));
+  }
+  return Status::Ok();
+}
+
+Status ValidateNonNegative(const char* name, double value) {
+  if (!(value >= 0.0)) {
+    return InvalidArgumentError(StrFormat("%s must be >= 0 (got %g)", name,
+                                          value));
+  }
+  return Status::Ok();
+}
+
+void RegisterBuiltins(CostModelRegistry& registry) {
+  CostBackendCapabilities paper;
+  paper.description =
+      "the paper's byte-exact main-memory model (W = w*f*n)";
+  registry.Register(
+      kCostModelPaper, paper,
+      [](std::shared_ptr<const Instance> instance, const CostParams& params,
+         const CostModelSpec&)
+          -> StatusOr<std::shared_ptr<const CostCoefficients>> {
+        return std::shared_ptr<const CostCoefficients>(
+            std::make_shared<CostModel>(std::move(instance), params));
+      });
+
+  CostBackendCapabilities cacheline;
+  cacheline.additive_widths = false;  // whole-line rounding per attribute
+  cacheline.description =
+      "cache-line-granular main-memory store with read/write asymmetry";
+  registry.Register(
+      kCostModelCacheline, cacheline,
+      [](std::shared_ptr<const Instance> instance, const CostParams& params,
+         const CostModelSpec& spec)
+          -> StatusOr<std::shared_ptr<const CostCoefficients>> {
+        const CachelineCostOptions& o = spec.cacheline;
+        VPART_RETURN_IF_ERROR(
+            ValidatePositive("cacheline.line_bytes", o.line_bytes));
+        VPART_RETURN_IF_ERROR(ValidateNonNegative("cacheline.row_header_bytes",
+                                                  o.row_header_bytes));
+        VPART_RETURN_IF_ERROR(
+            ValidateNonNegative("cacheline.read_factor", o.read_factor));
+        VPART_RETURN_IF_ERROR(
+            ValidateNonNegative("cacheline.write_factor", o.write_factor));
+        VPART_RETURN_IF_ERROR(ValidateNonNegative(
+            "cacheline.transfer_header_bytes", o.transfer_header_bytes));
+        return std::shared_ptr<const CostCoefficients>(
+            std::make_shared<CachelineCostModel>(std::move(instance), params,
+                                                 o));
+      });
+
+  CostBackendCapabilities disk_page;
+  disk_page.network_transfer = false;  // local/SAN row store on disk
+  disk_page.additive_widths = false;   // whole-page rounding + seeks
+  disk_page.description =
+      "Navathe-style block-access model for a row store on disk";
+  registry.Register(
+      kCostModelDiskPage, disk_page,
+      [](std::shared_ptr<const Instance> instance, const CostParams& params,
+         const CostModelSpec& spec)
+          -> StatusOr<std::shared_ptr<const CostCoefficients>> {
+        const DiskPageCostOptions& o = spec.disk_page;
+        VPART_RETURN_IF_ERROR(
+            ValidatePositive("disk_page.page_bytes", o.page_bytes));
+        VPART_RETURN_IF_ERROR(
+            ValidateNonNegative("disk_page.seek_pages", o.seek_pages));
+        VPART_RETURN_IF_ERROR(
+            ValidateNonNegative("disk_page.write_factor", o.write_factor));
+        return std::shared_ptr<const CostCoefficients>(
+            std::make_shared<DiskPageCostModel>(std::move(instance), params,
+                                                o));
+      });
+}
+
+}  // namespace
+
+Status ValidateCostModelSpec(const CostModelSpec& spec) {
+  if (spec.backend.empty()) {
+    return InvalidArgumentError("cost_model.backend must not be empty");
+  }
+  // Only the selected backend's block applies ("unrelated blocks are
+  // ignored" — cost_model_spec.h); its factory re-validates on Build.
+  if (spec.backend == kCostModelCacheline) {
+    VPART_RETURN_IF_ERROR(
+        ValidatePositive("cacheline.line_bytes", spec.cacheline.line_bytes));
+  }
+  if (spec.backend == kCostModelDiskPage) {
+    VPART_RETURN_IF_ERROR(
+        ValidatePositive("disk_page.page_bytes", spec.disk_page.page_bytes));
+  }
+  return Status::Ok();
+}
+
+CostModelRegistry& CostModelRegistry::Global() {
+  static CostModelRegistry* registry = []() {
+    auto* r = new CostModelRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status CostModelRegistry::Register(const std::string& name,
+                                   CostBackendCapabilities capabilities,
+                                   CostModelFactory factory) {
+  if (name.empty()) {
+    return InvalidArgumentError("invalid cost model name: ''");
+  }
+  if (factory == nullptr) {
+    return InvalidArgumentError("cost model factory must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = backends_.emplace(
+      name, Entry{std::move(capabilities), std::move(factory)});
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("cost model '" + name +
+                              "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status CostModelRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (backends_.erase(name) == 0) {
+    return NotFoundError("cost model '" + name + "' not registered");
+  }
+  return Status::Ok();
+}
+
+bool CostModelRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_.count(name) > 0;
+}
+
+StatusOr<CostBackendCapabilities> CostModelRegistry::Capabilities(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    return NotFoundError("cost model '" + name + "' not registered");
+  }
+  return it->second.capabilities;
+}
+
+std::vector<std::string> CostModelRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(backends_.size());
+    for (const auto& [name, entry] : backends_) names.push_back(name);
+  }
+  return names;  // std::map iterates sorted
+}
+
+StatusOr<std::shared_ptr<const CostCoefficients>> CostModelRegistry::Build(
+    std::shared_ptr<const Instance> instance, const CostParams& params,
+    const CostModelSpec& spec) const {
+  if (instance == nullptr) {
+    return InvalidArgumentError("cost model needs an instance");
+  }
+  CostModelFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = backends_.find(spec.backend);
+    if (it != backends_.end()) factory = it->second.factory;
+  }
+  if (factory == nullptr) {
+    return NotFoundError("unknown cost model '" + spec.backend +
+                         "' (available: " + JoinStrings(Names(), ", ") + ")");
+  }
+  StatusOr<std::shared_ptr<const CostCoefficients>> built =
+      factory(std::move(instance), params, spec);
+  VPART_RETURN_IF_ERROR(built.status());
+  if (*built == nullptr) {
+    return InternalError("factory for cost model '" + spec.backend +
+                         "' returned null");
+  }
+  return built;
+}
+
+}  // namespace vpart

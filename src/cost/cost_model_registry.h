@@ -1,0 +1,89 @@
+#ifndef VPART_COST_COST_MODEL_REGISTRY_H_
+#define VPART_COST_COST_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cost/cost_coefficients.h"
+#include "cost/cost_model_spec.h"
+#include "util/status.h"
+
+namespace vpart {
+
+/// What a registered cost-model backend can express; the advise
+/// orchestrator queries these to reject solver/model mismatches up front
+/// instead of producing silently-wrong numbers.
+struct CostBackendCapabilities {
+  /// The transfer term prices bytes shipped between networked sites. The
+  /// Appendix-A latency decorator (AdviseRequest::latency_penalty) models
+  /// network round trips and only composes with such backends — requesting
+  /// it against e.g. the local-disk backend is an InvalidArgument.
+  bool network_transfer = true;
+  /// Weights are additive in attribute width, so the §4 attribute
+  /// grouping (which merges identically-accessed attributes by summing
+  /// widths) preserves the objective exactly. Backends with line/page
+  /// rounding are not additive; the advise orchestrator skips grouping
+  /// for them (with a warning) instead of optimizing a distorted
+  /// objective.
+  bool additive_widths = true;
+  /// One-line scenario summary for --help and error messages.
+  std::string description;
+};
+
+/// Backend factory: builds coefficients for one instance under the
+/// family-wide params (p, λ) and the backend's block of `spec`. Factories
+/// must validate their block and may fail with InvalidArgument.
+using CostModelFactory =
+    std::function<StatusOr<std::shared_ptr<const CostCoefficients>>(
+        std::shared_ptr<const Instance> instance, const CostParams& params,
+        const CostModelSpec& spec)>;
+
+/// Name -> (capabilities, factory) registry behind the pluggable cost-model
+/// API, mirroring SolverRegistry: the global instance self-registers the
+/// built-in backends (paper, cacheline, disk_page) on first use; embedders
+/// may add their own physics, which requests then select by name. All
+/// methods are thread-safe.
+class CostModelRegistry {
+ public:
+  /// The process-wide registry (built-ins pre-registered).
+  static CostModelRegistry& Global();
+
+  /// Registers a backend; fails with kAlreadyExists on a duplicate name.
+  Status Register(const std::string& name,
+                  CostBackendCapabilities capabilities,
+                  CostModelFactory factory);
+
+  /// Removes a registered backend (primarily for tests).
+  Status Unregister(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  StatusOr<CostBackendCapabilities> Capabilities(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Resolves spec.backend and builds the coefficients. Unknown names fail
+  /// with kNotFound listing the registered backends (consistent with the
+  /// solver registry's errors).
+  StatusOr<std::shared_ptr<const CostCoefficients>> Build(
+      std::shared_ptr<const Instance> instance, const CostParams& params,
+      const CostModelSpec& spec) const;
+
+ private:
+  struct Entry {
+    CostBackendCapabilities capabilities;
+    CostModelFactory factory;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> backends_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_COST_COST_MODEL_REGISTRY_H_

@@ -1,0 +1,77 @@
+#include "cost/latency_decorator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vpart {
+
+std::vector<uint8_t> ComputePsi(const Instance& instance,
+                                const Partitioning& partitioning) {
+  std::vector<uint8_t> psi(instance.num_queries(), 0);
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    const Query& query = instance.workload().query(q);
+    if (!query.is_write()) continue;
+    const int home = partitioning.SiteOfTransaction(query.transaction_id);
+    for (int a : query.attributes) {
+      const int replicas = partitioning.ReplicaCount(a);
+      const int local = partitioning.HasAttribute(a, home) ? 1 : 0;
+      if (replicas - local > 0) {
+        psi[q] = 1;
+        break;
+      }
+    }
+  }
+  return psi;
+}
+
+double LatencyCost(const Instance& instance, const Partitioning& partitioning,
+                   double latency_penalty) {
+  const std::vector<uint8_t> psi = ComputePsi(instance, partitioning);
+  double total = 0.0;
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    if (psi[q]) total += instance.workload().query(q).frequency;
+  }
+  return latency_penalty * total;
+}
+
+LatencyDecoratedCost::LatencyDecoratedCost(
+    std::shared_ptr<const CostCoefficients> base, double latency_penalty)
+    : CostCoefficients(*base, base->backend() + "+latency"),
+      base_(std::move(base)),
+      latency_penalty_(latency_penalty) {
+  assert(base_ != nullptr);
+}
+
+double LatencyDecoratedCost::LatencyTerm(
+    const Partitioning& partitioning) const {
+  return LatencyCost(instance(), partitioning, latency_penalty_);
+}
+
+double LatencyDecoratedCost::Objective(
+    const Partitioning& partitioning) const {
+  return base_->Objective(partitioning) + LatencyTerm(partitioning);
+}
+
+CostBreakdown LatencyDecoratedCost::Breakdown(
+    const Partitioning& partitioning) const {
+  CostBreakdown breakdown = base_->Breakdown(partitioning);
+  breakdown.latency = LatencyTerm(partitioning);
+  breakdown.total += breakdown.latency;
+  return breakdown;
+}
+
+double LatencyDecoratedCost::ScalarizedObjective(
+    const Partitioning& partitioning) const {
+  return base_->ScalarizedObjective(partitioning) +
+         LatencyTerm(partitioning);
+}
+
+std::unique_ptr<CostCoefficients> LatencyDecoratedCost::Rebind(
+    std::shared_ptr<const Instance> instance) const {
+  std::shared_ptr<const CostCoefficients> rebound =
+      base_->Rebind(std::move(instance));
+  return std::make_unique<LatencyDecoratedCost>(std::move(rebound),
+                                                latency_penalty_);
+}
+
+}  // namespace vpart

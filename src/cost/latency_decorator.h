@@ -1,0 +1,79 @@
+#ifndef VPART_COST_LATENCY_DECORATOR_H_
+#define VPART_COST_LATENCY_DECORATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost_coefficients.h"
+
+namespace vpart {
+
+/// Appendix A: network-latency extension. A write query q pays one latency
+/// penalty p_l·f_q when it touches any remotely placed replica (remote
+/// requests are assumed to go out in parallel, so the count per query is
+/// 0/1 — the paper's ψ_q indicator). Reads never pay: single-sitedness
+/// keeps them local.
+///
+/// ψ_q for a concrete partitioning: 1 iff q is a write and some referenced
+/// attribute has a replica on a site other than the query's home site.
+std::vector<uint8_t> ComputePsi(const Instance& instance,
+                                const Partitioning& partitioning);
+
+/// Total latency term p_l · Σ_q f_q·ψ_q.
+double LatencyCost(const Instance& instance, const Partitioning& partitioning,
+                   double latency_penalty);
+
+/// Composable latency decorator: wraps any cost-model backend and adds the
+/// Appendix-A per-query latency term to its evaluation surface —
+///
+///   Objective()            = base Objective + p_l·Σ f_q·ψ_q
+///   Breakdown().latency    = p_l·Σ f_q·ψ_q   (included in .total)
+///   ScalarizedObjective()  = base Scalarized + p_l·Σ f_q·ψ_q
+///
+/// (the latency term joins the scalarization unscaled, matching the ψ
+/// objective coefficients AddLatencyToFormulation emits into the ILP).
+/// The c1..c4 tables are copied from the base (construction costs about
+/// one Objective() evaluation — decorate once per request/solve, not per
+/// evaluation), so coefficient-driven marginals (TransactionOnSiteCost,
+/// AttributeOnSiteCost) and SiteLoad stay latency-blind — the ψ
+/// indicator is not linear in (x, y), which is
+/// exactly why the ILP prices it via dedicated binaries while the
+/// heuristics optimize the base objective and report their exposure.
+/// Evaluation-driven solvers (the exhaustive enumerator ranks candidates
+/// by ScalarizedObjective) become latency-exact simply by being handed a
+/// decorated model.
+///
+/// The decorator composes with any backend whose transfer term models a
+/// network (CostBackendCapabilities::network_transfer); the advise
+/// orchestrator rejects the others up front.
+class LatencyDecoratedCost final : public CostCoefficients {
+ public:
+  /// `base` must not be null; the decorator shares its instance, keeps
+  /// `base` alive, and copies its coefficient tables.
+  LatencyDecoratedCost(std::shared_ptr<const CostCoefficients> base,
+                       double latency_penalty);
+
+  const CostCoefficients& base() const { return *base_; }
+  double latency_penalty() const { return latency_penalty_; }
+
+  /// p_l · Σ_q f_q·ψ_q for a concrete partitioning.
+  double LatencyTerm(const Partitioning& partitioning) const;
+
+  double Objective(const Partitioning& partitioning) const override;
+  CostBreakdown Breakdown(const Partitioning& partitioning) const override;
+  double ScalarizedObjective(const Partitioning& partitioning) const override;
+  double TransferWeight(int a, int q) const override {
+    return base_->TransferWeight(a, q);
+  }
+
+  std::unique_ptr<CostCoefficients> Rebind(
+      std::shared_ptr<const Instance> instance) const override;
+
+ private:
+  std::shared_ptr<const CostCoefficients> base_;
+  double latency_penalty_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_COST_LATENCY_DECORATOR_H_

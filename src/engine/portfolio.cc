@@ -69,7 +69,7 @@ class SharedIncumbent {
 
 }  // namespace
 
-StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
+StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
                                          const PortfolioOptions& options) {
   if (options.num_sites < 1) {
     return InvalidArgumentError("num_sites must be >= 1");

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 #include "engine/thread_pool.h"
 #include "util/status.h"
 
@@ -77,7 +77,7 @@ struct PortfolioResult {
   std::vector<PortfolioLane> lanes;
 };
 
-StatusOr<PortfolioResult> SolvePortfolio(const CostModel& cost_model,
+StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
                                          const PortfolioOptions& options);
 
 }  // namespace vpart

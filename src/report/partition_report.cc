@@ -29,7 +29,7 @@ std::string RenderPartitionTable(const Instance& instance,
   return out.str();
 }
 
-std::string RenderPartitionSummary(const CostModel& cost_model,
+std::string RenderPartitionSummary(const CostCoefficients& cost_model,
                                    const Partitioning& partitioning) {
   const Instance& instance = cost_model.instance();
   std::ostringstream out;

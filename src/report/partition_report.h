@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 
 namespace vpart {
 
@@ -15,7 +15,7 @@ std::string RenderPartitionTable(const Instance& instance,
 
 /// One-paragraph summary: objective (4), breakdown, per-site loads,
 /// replication statistics. Used by the examples and benches.
-std::string RenderPartitionSummary(const CostModel& cost_model,
+std::string RenderPartitionSummary(const CostCoefficients& cost_model,
                                    const Partitioning& partitioning);
 
 }  // namespace vpart

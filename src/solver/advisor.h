@@ -3,7 +3,8 @@
 
 #include <string>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
+#include "cost/cost_model_spec.h"
 #include "solver/ilp_solver.h"
 #include "solver/sa_solver.h"
 #include "util/status.h"
@@ -37,6 +38,9 @@ struct AdvisorOptions {
   /// engine/batch_advisor.h.
   int num_threads = 1;
   CostParams cost;  // p and λ
+  /// Cost-model backend selection (paper/cacheline/disk_page/custom); see
+  /// cost/cost_model_spec.h. Defaults to the paper's model.
+  CostModelSpec cost_model;
   Algorithm algorithm = Algorithm::kAuto;
   bool allow_replication = true;
   /// Apply the §4 reasonable-cuts reduction before solving (exact).

@@ -9,14 +9,14 @@ namespace vpart {
 namespace {
 
 struct Enumerator {
-  const CostModel& cost_model;
+  const CostCoefficients& cost_model;
   const ExhaustiveOptions& options;
   Deadline deadline;
   Partitioning work;
   ExhaustiveResult result;
   double best_key = 1e300;
 
-  explicit Enumerator(const CostModel& model, const ExhaustiveOptions& opts)
+  explicit Enumerator(const CostCoefficients& model, const ExhaustiveOptions& opts)
       : cost_model(model), options(opts),
         deadline(opts.time_limit_seconds),
         work(model.instance().num_transactions(),
@@ -74,7 +74,7 @@ struct Enumerator {
 
 }  // namespace
 
-ExhaustiveResult SolveExhaustively(const CostModel& cost_model,
+ExhaustiveResult SolveExhaustively(const CostCoefficients& cost_model,
                                    const ExhaustiveOptions& options) {
   Enumerator enumerator(cost_model, options);
   enumerator.Recurse(0, 0);

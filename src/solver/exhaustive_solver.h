@@ -4,7 +4,7 @@
 #include <atomic>
 #include <optional>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 
 namespace vpart {
 
@@ -21,7 +21,7 @@ namespace vpart {
 struct ExhaustiveOptions {
   int num_sites = 2;
   bool allow_replication = true;
-  /// Rank candidates by eq. (6) when true (requires a CostModel λ), by
+  /// Rank candidates by eq. (6) when true (requires a cost-model λ), by
   /// eq. (4) when false.
   bool rank_by_scalarized = true;
   /// Abort knob: number of x assignments examined.
@@ -43,7 +43,7 @@ struct ExhaustiveResult {
   bool exact = false;     // true when the result is a proven optimum
 };
 
-ExhaustiveResult SolveExhaustively(const CostModel& cost_model,
+ExhaustiveResult SolveExhaustively(const CostCoefficients& cost_model,
                                    const ExhaustiveOptions& options = {});
 
 }  // namespace vpart

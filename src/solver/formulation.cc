@@ -36,7 +36,7 @@ Partitioning IlpFormulation::ExtractPartitioning(
 }
 
 std::vector<double> IlpFormulation::EncodePartitioning(
-    const CostModel& cost_model, const Partitioning& p) const {
+    const CostCoefficients& cost_model, const Partitioning& p) const {
   const int num_sites = options.num_sites;
   const int num_t = static_cast<int>(x_var.size());
   const int num_a = static_cast<int>(y_var.size());
@@ -79,7 +79,7 @@ std::vector<double> IlpFormulation::EncodePartitioning(
   return values;
 }
 
-IlpFormulation BuildIlpFormulation(const CostModel& cost_model,
+IlpFormulation BuildIlpFormulation(const CostCoefficients& cost_model,
                                    const FormulationOptions& options) {
   const Instance& instance = cost_model.instance();
   const int num_t = instance.num_transactions();

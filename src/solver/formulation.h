@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 #include "lp/model.h"
 
 namespace vpart {
@@ -62,12 +62,12 @@ struct IlpFormulation {
   /// Encodes a feasible partitioning as a full model assignment (x, y,
   /// u = x·y, m = max load) for MIP warm starts. When `break_symmetry` is
   /// set, sites are relabeled so transaction 0 lands on site 0.
-  std::vector<double> EncodePartitioning(const CostModel& cost_model,
+  std::vector<double> EncodePartitioning(const CostCoefficients& cost_model,
                                          const Partitioning& p) const;
 };
 
 /// Builds eq. (7) for `cost_model` (which carries p and λ).
-IlpFormulation BuildIlpFormulation(const CostModel& cost_model,
+IlpFormulation BuildIlpFormulation(const CostCoefficients& cost_model,
                                    const FormulationOptions& options);
 
 }  // namespace vpart

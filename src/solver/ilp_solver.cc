@@ -5,7 +5,7 @@
 
 namespace vpart {
 
-IlpSolveResult SolveWithIlp(const CostModel& cost_model,
+IlpSolveResult SolveWithIlp(const CostCoefficients& cost_model,
                             const IlpSolverOptions& options) {
   IlpFormulation formulation =
       BuildIlpFormulation(cost_model, options.formulation);

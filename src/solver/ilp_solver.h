@@ -4,7 +4,7 @@
 #include <functional>
 #include <optional>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 #include "mip/branch_and_bound.h"
 #include "solver/formulation.h"
 
@@ -57,7 +57,7 @@ struct IlpSolveResult {
 };
 
 /// Builds eq. (7) and minimizes it with branch & bound.
-IlpSolveResult SolveWithIlp(const CostModel& cost_model,
+IlpSolveResult SolveWithIlp(const CostCoefficients& cost_model,
                             const IlpSolverOptions& options);
 
 }  // namespace vpart

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "util/stopwatch.h"
 
@@ -68,7 +69,7 @@ StatusOr<Instance> BuildPrefixInstance(const Instance& instance,
 
 /// Places one (newly added) transaction on its cheapest covering site,
 /// extending y where no site covers its read set.
-void PlaceTransactionGreedy(const CostModel& cost_model, Partitioning& p,
+void PlaceTransactionGreedy(const CostCoefficients& cost_model, Partitioning& p,
                             int t) {
   const Instance& instance = cost_model.instance();
   const std::vector<int>& reads = instance.ReadSetOfTransaction(t);
@@ -111,7 +112,7 @@ void PlaceTransactionGreedy(const CostModel& cost_model, Partitioning& p,
 
 }  // namespace
 
-SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
+SaResult SolveIncrementally(const CostCoefficients& cost_model, int num_sites,
                             const IncrementalOptions& options) {
   const Instance& instance = cost_model.instance();
   const int num_t = instance.num_transactions();
@@ -139,11 +140,15 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
     options.progress(snapshot);
   };
 
-  // Phase 1: anneal the heavy prefix on its own sub-instance.
+  // Phase 1: anneal the heavy prefix on its own sub-instance. Rebind()
+  // reprices the caller's backend (whatever its physics) on each prefix;
+  // the models own their instances via shared_ptr, so no manual lifetime
+  // juggling is needed across the growth rounds.
   auto sub = BuildPrefixInstance(instance, order, prefix);
   assert(sub.ok());
-  CostModel sub_model(&sub.value(), cost_model.params());
-  SaResult sub_result = SolveWithSa(sub_model, num_sites, options.sa);
+  std::unique_ptr<CostCoefficients> sub_model = cost_model.Rebind(
+      std::make_shared<const Instance>(std::move(sub.value())));
+  SaResult sub_result = SolveWithSa(*sub_model, num_sites, options.sa);
   emit_progress(prefix, sub_result.scalarized);
 
   // Lift to the permuted full solution progressively.
@@ -155,7 +160,6 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
   const int chunk = (remaining + batches - 1) / std::max(batches, 1);
 
   int covered = prefix;
-  Instance grown = std::move(sub.value());
   while (covered < num_t) {
     // Once cancelled, fold everything left in at once and skip the
     // re-anneal below: the caller gets a complete feasible solution fast.
@@ -163,8 +167,9 @@ SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
         cancelled() ? num_t : std::min(num_t, covered + std::max(chunk, 1));
     auto grown_or = BuildPrefixInstance(instance, order, next);
     assert(grown_or.ok());
-    grown = std::move(grown_or.value());
-    CostModel grown_model(&grown, cost_model.params());
+    std::unique_ptr<CostCoefficients> grown_ptr = cost_model.Rebind(
+        std::make_shared<const Instance>(std::move(grown_or.value())));
+    const CostCoefficients& grown_model = *grown_ptr;
 
     Partitioning extended(next, num_a, num_sites);
     for (int i = 0; i < covered; ++i) {

@@ -1,7 +1,7 @@
 #ifndef VPART_SOLVER_INCREMENTAL_SOLVER_H_
 #define VPART_SOLVER_INCREMENTAL_SOLVER_H_
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 #include "solver/sa_solver.h"
 
 namespace vpart {
@@ -38,7 +38,7 @@ struct IncrementalOptions {
 };
 
 /// Returns a solution for the full instance behind `cost_model`.
-SaResult SolveIncrementally(const CostModel& cost_model, int num_sites,
+SaResult SolveIncrementally(const CostCoefficients& cost_model, int num_sites,
                             const IncrementalOptions& options = {});
 
 /// Ranks transactions by total weight, heaviest first (exposed for tests).

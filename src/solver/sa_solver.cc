@@ -10,7 +10,7 @@
 
 namespace vpart {
 
-bool ComputeOptimalY(const CostModel& cost_model, Partitioning& p,
+bool ComputeOptimalY(const CostCoefficients& cost_model, Partitioning& p,
                      bool allow_replication) {
   const Instance& instance = cost_model.instance();
   const int num_a = instance.num_attributes();
@@ -75,7 +75,7 @@ bool ComputeOptimalY(const CostModel& cost_model, Partitioning& p,
   return true;
 }
 
-bool ComputeOptimalX(const CostModel& cost_model, Partitioning& p,
+bool ComputeOptimalX(const CostCoefficients& cost_model, Partitioning& p,
                      bool allow_replication) {
   const Instance& instance = cost_model.instance();
   const int num_s = p.num_sites();
@@ -137,7 +137,7 @@ bool ShouldStop(const SaOptions& options, const Deadline& deadline) {
 
 /// One full anneal (Algorithm 1) from the given start. Appends iteration
 /// and acceptance counts into `result` and updates the global best.
-void AnnealOnce(const CostModel& cost_model, int num_sites,
+void AnnealOnce(const CostCoefficients& cost_model, int num_sites,
                 const SaOptions& options, const Partitioning* start,
                 const Deadline& deadline, Rng& rng, SaResult& result,
                 Partitioning& global_best, double& global_best_obj) {
@@ -254,7 +254,7 @@ void AnnealOnce(const CostModel& cost_model, int num_sites,
 
 }  // namespace
 
-SaResult SolveWithSa(const CostModel& cost_model, int num_sites,
+SaResult SolveWithSa(const CostCoefficients& cost_model, int num_sites,
                      const SaOptions& options) {
   assert(num_sites >= 1);
   Stopwatch watch;

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "cost/cost_model.h"
+#include "cost/cost_coefficients.h"
 
 namespace vpart {
 
@@ -18,7 +18,7 @@ namespace vpart {
 ///
 /// With `allow_replication == false` an attribute whose readers span
 /// multiple sites makes the x assignment infeasible; returns false then.
-bool ComputeOptimalY(const CostModel& cost_model, Partitioning& p,
+bool ComputeOptimalY(const CostCoefficients& cost_model, Partitioning& p,
                      bool allow_replication = true);
 
 /// Re-assigns every transaction to its cheapest feasible site for the fixed
@@ -27,7 +27,7 @@ bool ComputeOptimalY(const CostModel& cost_model, Partitioning& p,
 /// (allowed: SA's y-neighborhood only ever adds replicas); with
 /// `allow_replication == false` repair is impossible and the function
 /// returns false instead.
-bool ComputeOptimalX(const CostModel& cost_model, Partitioning& p,
+bool ComputeOptimalX(const CostCoefficients& cost_model, Partitioning& p,
                      bool allow_replication = true);
 
 /// Snapshot streamed to SaOptions::progress after every completed anneal
@@ -95,7 +95,7 @@ struct SaResult {
 
 /// Algorithm 1: simulated annealing that alternately fixes x and y and
 /// re-optimizes the other side in closed form.
-SaResult SolveWithSa(const CostModel& cost_model, int num_sites,
+SaResult SolveWithSa(const CostCoefficients& cost_model, int num_sites,
                      const SaOptions& options = {});
 
 }  // namespace vpart

@@ -87,6 +87,22 @@ TEST(AdviseSessionTest, RunsToCompletionWithEventStream) {
   EXPECT_EQ(shim->algorithm_used, response->result.algorithm_used);
 }
 
+TEST(AdviseSessionTest, CoOwnsSharedInstance) {
+  // The shared_ptr constructor makes the session co-own its instance:
+  // dropping every other reference before (and during) the solve must be
+  // safe — the lifetime footgun the borrowing constructor documents away.
+  auto instance = std::make_shared<const Instance>(MakeTpccInstance());
+  AdviseRequest request;
+  request.solver = kSolverSa;
+  request.time_limit_seconds = 0.2;
+  AdviseSession session(instance, request);
+  instance.reset();
+  ASSERT_TRUE(session.Start().ok());
+  const StatusOr<AdviseResponse>& response = session.Wait();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->outcome, AdviseOutcome::kComplete);
+}
+
 TEST(AdviseSessionTest, WaitImpliesStart) {
   Instance tpcc = MakeTpccInstance();
   AdviseRequest request;

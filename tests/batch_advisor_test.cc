@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "cost/cost_model.h"
 #include "engine/batch_advisor.h"
 #include "instances/random_instance.h"
 #include "instances/tpcc.h"

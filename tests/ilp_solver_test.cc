@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cost/cost_model.h"
 #include "instances/random_instance.h"
 #include "solver/exhaustive_solver.h"
 #include "solver/formulation.h"

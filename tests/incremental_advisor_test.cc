@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cost/cost_model.h"
 #include "instances/random_instance.h"
 #include "instances/tpcc.h"
 #include "solver/advisor.h"

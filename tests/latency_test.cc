@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cost/cost_model.h"
 #include "mip/branch_and_bound.h"
 #include "solver/latency.h"
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "cost/cost_model.h"
 #include "engine/portfolio.h"
 #include "instances/random_instance.h"
 #include "mip/branch_and_bound.h"

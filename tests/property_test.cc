@@ -7,6 +7,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "cost/cost_model.h"
 #include "instances/random_instance.h"
 #include "solver/attribute_groups.h"
 #include "solver/exhaustive_solver.h"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cost/cost_model.h"
 #include "instances/tpcc.h"
 #include "report/partition_report.h"
 #include "report/table_printer.h"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cost/cost_model.h"
 #include "instances/random_instance.h"
 #include "instances/tpcc.h"
 #include "solver/sa_solver.h"

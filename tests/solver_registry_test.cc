@@ -136,7 +136,7 @@ TEST(SolverRegistryTest, ResolveRejectsUnknownSolver) {
 /// A custom backend: places everything single-site (always feasible).
 class SingleSiteSolver : public Solver {
  public:
-  StatusOr<SolverRun> Solve(const CostModel& cost_model,
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
                             const AdviseRequest& request,
                             const SolveContext& ctx) override {
     (void)ctx;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cost/cost_model.h"
 #include "instances/tpcc.h"
 #include "solver/attribute_groups.h"
 #include "solver/exhaustive_solver.h"

@@ -19,6 +19,7 @@
 #include "api/request_json.h"
 #include "api/session.h"
 #include "api/solver_registry.h"
+#include "cost/cost_model_registry.h"
 #include "engine/batch_advisor.h"
 #include "util/string_util.h"
 
@@ -32,6 +33,7 @@ constexpr const char* kTemplate = R"({
   "num_sites": 3,
   "num_threads": 1,
   "cost": {"p": 8, "lambda": 0.1},
+  "cost_model": {"backend": "paper"},
   "time_limit_seconds": 5,
   "emit_partitioning": true,
   "emit_events": false
@@ -50,16 +52,20 @@ void PrintHelp() {
       "  --help       this text\n"
       "\n"
       "registered solvers: auto, %s\n"
+      "registered cost models: %s\n"
       "\n"
       "request keys (see src/api/request_json.h for the full schema):\n"
       "  instance              {\"builtin\": \"tpcc\"} | {\"file\": ...} |\n"
       "                        {\"text\": ...} | {\"random\": \"rndAt8x15\"}\n"
       "  solver                registry name (default \"auto\")\n"
       "  num_sites/num_threads ints; cost {p, lambda}\n"
+      "  cost_model            {\"backend\": \"paper\"|\"cacheline\"|\n"
+      "                        \"disk_page\", per-backend option blocks}\n"
       "  time_limit_seconds    whole-request wall clock\n"
       "  batch                 true = one solve per table (whole schema)\n"
       "  emit_events           true = include the progress-event stream\n",
-      JoinStrings(SolverRegistry::Global().Names(), ", ").c_str());
+      JoinStrings(SolverRegistry::Global().Names(), ", ").c_str(),
+      JoinStrings(CostModelRegistry::Global().Names(), ", ").c_str());
 }
 
 std::string ReadAll(std::FILE* in) {
