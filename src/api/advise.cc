@@ -204,6 +204,8 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
 
   response.solver_used = *resolved;
   response.cost_model_used = request.cost_model.backend;
+  response.bnb_nodes = run->bnb_nodes;
+  response.lp_stats = run->lp_stats;
   if (hooks.user_cancelled != nullptr &&
       hooks.user_cancelled->load(std::memory_order_relaxed)) {
     response.outcome = AdviseOutcome::kCancelled;
@@ -221,6 +223,7 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
                      : -std::numeric_limits<double>::infinity();
     done.gap = result.proven_optimal ? 0.0 : 100.0;
     done.detail = response.incumbents;
+    done.lp = response.lp_stats;
     hooks.progress(done);
     progress_events.fetch_add(1, std::memory_order_relaxed);
   }

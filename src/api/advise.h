@@ -10,6 +10,7 @@
 #include "cost/cost_coefficients.h"
 #include "cost/cost_model_spec.h"
 #include "engine/thread_pool.h"
+#include "lp/solve_stats.h"
 #include "solver/advisor.h"
 #include "util/status.h"
 
@@ -124,6 +125,12 @@ struct AdviseResponse {
   /// Event-stream telemetry: how many events fired during the solve.
   long progress_events = 0;
   long incumbents = 0;
+  /// Branch & bound telemetry of the solve (the ilp solver or the
+  /// portfolio's ILP lane): node count plus the node-LP warm/cold-start and
+  /// pivot counters of lp/solve_stats.h. All zero for pure-heuristic
+  /// solves. Serialized under `telemetry.mip` in the JSON response.
+  long bnb_nodes = 0;
+  LpSolveStats lp_stats;
 };
 
 /// Hooks threaded through a solve; every field is optional. `token` copies

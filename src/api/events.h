@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cost/partitioning.h"
+#include "lp/solve_stats.h"
 
 namespace vpart {
 
@@ -32,6 +33,10 @@ struct ProgressEvent {
   /// Stage-specific counter: B&B nodes, SA restarts, incremental rounds,
   /// portfolio incumbent publications.
   long detail = 0;
+  /// Node-LP telemetry accumulated so far (warm/cold starts, pivot mix);
+  /// all-zero for stages that solve no LPs (SA, exhaustive, incremental).
+  /// The terminal "done" event carries the whole solve's totals.
+  LpSolveStats lp;
 };
 
 /// A new best solution, streamed as soon as any stage finds one. The

@@ -336,6 +336,27 @@ JsonValue PartitioningToJson(const Instance& instance,
   return out;
 }
 
+namespace {
+
+/// Serializes LpSolveStats as the "mip" / "lp" telemetry object shared by
+/// the response document and the per-event stream.
+JsonValue LpSolveStatsToJson(const LpSolveStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("lp_solves", stats.lp_solves);
+  out.Set("warm_starts", stats.warm_starts);
+  out.Set("cold_starts", stats.cold_starts);
+  out.Set("warm_start_failures", stats.warm_start_failures);
+  out.Set("primal_iterations", stats.primal_iterations);
+  out.Set("phase1_iterations", stats.phase1_iterations);
+  out.Set("dual_iterations", stats.dual_iterations);
+  out.Set("total_iterations", stats.total_iterations());
+  out.Set("factorizations", stats.factorizations);
+  out.Set("lp_seconds", stats.lp_seconds);
+  return out;
+}
+
+}  // namespace
+
 JsonValue ProgressEventToJson(const ProgressEvent& event) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("phase", event.phase);
@@ -344,6 +365,9 @@ JsonValue ProgressEventToJson(const ProgressEvent& event) {
   out.Set("bound", event.bound);
   out.Set("gap", event.gap);
   out.Set("detail", event.detail);
+  if (event.lp.lp_solves > 0) {
+    out.Set("lp", LpSolveStatsToJson(event.lp));
+  }
   return out;
 }
 
@@ -380,6 +404,11 @@ JsonValue AdviseResponseToJson(const Instance& instance,
   JsonValue telemetry = JsonValue::MakeObject();
   telemetry.Set("progress_events", response.progress_events);
   telemetry.Set("incumbents", response.incumbents);
+  // Branch & bound / warm-start counters; all-zero (but present, so
+  // consumers can rely on the shape) when no B&B ran.
+  JsonValue mip = LpSolveStatsToJson(response.lp_stats);
+  mip.Set("bnb_nodes", response.bnb_nodes);
+  telemetry.Set("mip", std::move(mip));
   out.Set("telemetry", std::move(telemetry));
   if (emit_partitioning) {
     out.Set("partitioning", PartitioningToJson(instance, result.partitioning));

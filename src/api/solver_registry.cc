@@ -181,6 +181,7 @@ class IlpAdapter : public Solver {
                                      progress.best_bound)
                         : 100.0;
         event.detail = progress.nodes;
+        event.lp = progress.lp_stats;
         ctx.progress(event);
       };
     }
@@ -207,6 +208,8 @@ class IlpAdapter : public Solver {
 
     IlpSolveResult result = SolveWithIlp(cost_model, ilp);
     SolverRun run;
+    run.bnb_nodes = result.nodes;
+    run.lp_stats = result.lp_stats;
     if (result.ok()) {
       run.partitioning = std::move(*result.partitioning);
       run.algorithm = kSolverIlp;
@@ -321,6 +324,8 @@ class PortfolioAdapter : public Solver {
     run.partitioning = std::move(raced->partitioning);
     run.algorithm = "portfolio(" + raced->winner + ")";
     run.proven_optimal = raced->proven_optimal;
+    run.bnb_nodes = raced->ilp_nodes;
+    run.lp_stats = raced->ilp_lp_stats;
     return run;
   }
 };

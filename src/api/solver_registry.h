@@ -53,6 +53,10 @@ struct SolverRun {
   /// "portfolio(sa)", ...). Defaults to the registry name when empty.
   std::string algorithm;
   bool proven_optimal = false;
+  /// Branch & bound telemetry when the solver ran one (the ilp solver, the
+  /// portfolio's ILP lane); zeros otherwise.
+  long bnb_nodes = 0;
+  LpSolveStats lp_stats;
 };
 
 /// Interface every registered solver implements. Solve() is called with the

@@ -198,6 +198,8 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     ilp.mip.external_upper_bound = shared.bound();
     ilp.mip.cancel_flag = token.flag();
     IlpSolveResult result = SolveWithIlp(cost_model, ilp);
+    lane.nodes = result.nodes;
+    lane.lp_stats = result.lp_stats;
     if (result.ok()) {
       publish(*result.partitioning, "ilp");
       lane.has_solution = true;
@@ -230,6 +232,12 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
   PortfolioResult result;
   result.seconds = watch.ElapsedSeconds();
   result.lanes = std::move(lanes);
+  for (const PortfolioLane& lane : result.lanes) {
+    if (lane.name == "ilp") {
+      result.ilp_nodes = lane.nodes;
+      result.ilp_lp_stats = lane.lp_stats;
+    }
+  }
   result.proven_optimal = proof_done.load(std::memory_order_relaxed);
   if (!shared.Snapshot(result.partitioning, result.scalarized, result.cost,
                        result.winner)) {

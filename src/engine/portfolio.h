@@ -8,6 +8,7 @@
 
 #include "cost/cost_coefficients.h"
 #include "engine/thread_pool.h"
+#include "lp/solve_stats.h"
 #include "util/status.h"
 
 namespace vpart {
@@ -62,6 +63,9 @@ struct PortfolioLane {
   double cost = 0.0;        // objective (4)
   double scalarized = 0.0;  // objective (6), the race metric
   double seconds = 0.0;     // lane wall clock (may end early on cancel)
+  /// ILP lane only: branch & bound nodes and node-LP warm/cold telemetry.
+  long nodes = 0;
+  LpSolveStats lp_stats;
 };
 
 struct PortfolioResult {
@@ -75,6 +79,10 @@ struct PortfolioResult {
   bool proven_optimal = false;
   double seconds = 0.0;
   std::vector<PortfolioLane> lanes;
+  /// Convenience mirror of the ILP lane's branch & bound telemetry (zeros
+  /// when the lane did not run), so callers need not scan `lanes`.
+  long ilp_nodes = 0;
+  LpSolveStats ilp_lp_stats;
 };
 
 StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,

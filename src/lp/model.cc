@@ -1,5 +1,6 @@
 #include "lp/model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -32,6 +33,21 @@ int LpModel::AddConstraint(ConstraintSense sense, double rhs,
     (void)coef;
     assert(col >= 0 && col < num_variables());
   }
+  // Canonicalize: sort by column, merge duplicates, drop exact zeros.
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t k = 0; k < terms.size(); ++k) {
+    if (out > 0 && terms[out - 1].first == terms[k].first) {
+      terms[out - 1].second += terms[k].second;
+    } else {
+      terms[out++] = terms[k];
+    }
+  }
+  terms.resize(out);
+  terms.erase(std::remove_if(terms.begin(), terms.end(),
+                             [](const auto& t) { return t.second == 0.0; }),
+              terms.end());
   Constraint c;
   c.sense = sense;
   c.rhs = rhs;

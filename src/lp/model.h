@@ -35,8 +35,10 @@ class LpModel {
     std::string name;
     ConstraintSense sense = ConstraintSense::kLessEqual;
     double rhs = 0.0;
-    // Column-index/coefficient pairs; duplicate columns are summed lazily by
-    // the solver's matrix build.
+    // Column-index/coefficient pairs, canonicalized by AddConstraint:
+    // sorted by column, duplicates summed, exact zeros dropped — so every
+    // consumer (primal build, dual reoptimizer, feasibility checks) sees
+    // the same sparse row.
     std::vector<std::pair<int, double>> terms;
   };
 
@@ -48,7 +50,9 @@ class LpModel {
   int AddBinaryVariable(double objective, std::string name = "");
 
   /// Adds a constraint; returns its row index. Terms with out-of-range
-  /// columns are a programming error (asserted).
+  /// columns are a programming error (asserted). Terms are stored in
+  /// canonical form: sorted by column, duplicate columns summed, zero
+  /// coefficients dropped.
   int AddConstraint(ConstraintSense sense, double rhs,
                     std::vector<std::pair<int, double>> terms,
                     std::string name = "");

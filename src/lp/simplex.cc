@@ -6,7 +6,6 @@
 #include <cstdlib>
 
 #include "util/logging.h"
-#include "util/stopwatch.h"
 
 namespace vpart {
 
@@ -20,95 +19,27 @@ const char* LpStatusName(LpStatus status) {
       return "UNBOUNDED";
     case LpStatus::kIterationLimit:
       return "ITERATION_LIMIT";
+    case LpStatus::kTimeLimit:
+      return "TIME_LIMIT";
     case LpStatus::kNumericalFailure:
       return "NUMERICAL_FAILURE";
   }
   return "UNKNOWN";
 }
 
-namespace {
+SimplexSolver::SimplexSolver(const LpModel& model,
+                             const SimplexOptions& options)
+    : model_(model), options_(options) {
+  BuildMatrix();
+}
 
-/// Variable status in the simplex dictionary.
-enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper };
-
-/// One elementary transformation of the product-form inverse: the basis
-/// changed by bringing the (FTRAN-ed) column `w` into position `row`.
-struct Eta {
-  int row = -1;
-  double pivot = 0.0;                           // w[row]
-  std::vector<std::pair<int, double>> other;    // (i, w[i]) for i != row
-};
-
-class SimplexSolver {
- public:
-  SimplexSolver(const LpModel& model, const SimplexOptions& options,
-                const std::vector<std::pair<double, double>>* bound_overrides)
-      : model_(model), options_(options),
-        deadline_(options.time_limit_seconds) {
-    Build(bound_overrides);
-  }
-
-  LpResult Solve();
-
- private:
-  // --- setup -------------------------------------------------------------
-  void Build(const std::vector<std::pair<double, double>>* bound_overrides);
-
-  // --- linear algebra over the product-form inverse ----------------------
-  void Ftran(std::vector<double>& w) const;   // w := B^{-1} w
-  void Btran(std::vector<double>& v) const;   // v := B^{-T} v
-  void ScatterColumn(int j, std::vector<double>& out) const;
-  bool Refactorize();
-  void RecomputeBasicValues();
-
-  // --- iteration ---------------------------------------------------------
-  int PriceDantzig(const std::vector<double>& d) const;
-  int PriceBland(const std::vector<double>& d) const;
-  void ComputeReducedCosts(std::vector<double>& d) const;
-  // Returns kOptimal / kUnbounded / kIterationLimit / kNumericalFailure for
-  // the current phase's cost vector.
-  LpStatus RunPhase(long max_iterations);
-
-  double PhaseObjective() const;
-
-  // --- problem data ------------------------------------------------------
-  const LpModel& model_;
-  SimplexOptions options_;
-  Deadline deadline_;
-
-  int num_rows_ = 0;
-  int num_struct_ = 0;
-  int num_cols_ = 0;  // struct + logicals + artificials
-
-  // CSC matrix over all columns.
-  std::vector<int> col_start_;
-  std::vector<int> row_index_;
-  std::vector<double> value_;
-
-  std::vector<double> lower_, upper_;
-  std::vector<double> cost_;          // active phase cost
-  std::vector<double> real_cost_;     // phase-2 cost
-  std::vector<double> rhs_;
-  int first_artificial_ = 0;          // columns >= this are artificial
-
-  // --- simplex state -----------------------------------------------------
-  std::vector<int> basis_;            // row -> column
-  std::vector<VarState> state_;       // column -> state
-  std::vector<double> xval_;          // column -> current value
-  std::vector<Eta> etas_;
-  long iterations_ = 0;
-  long phase1_iterations_ = 0;
-  long stall_count_ = 0;
-  bool use_bland_ = false;
-};
-
-void SimplexSolver::Build(
-    const std::vector<std::pair<double, double>>* bound_overrides) {
+void SimplexSolver::BuildMatrix() {
   num_rows_ = model_.num_constraints();
   num_struct_ = model_.num_variables();
   const int num_logicals = num_rows_;
 
-  // Structural columns, aggregating duplicate (row, col) entries.
+  // Structural columns. AddConstraint canonicalizes rows (sorted, merged,
+  // zero-free), so the transpose below needs no duplicate handling.
   std::vector<std::vector<std::pair<int, double>>> cols(num_struct_);
   for (int i = 0; i < num_rows_; ++i) {
     for (const auto& [j, v] : model_.constraint(i).terms) {
@@ -140,24 +71,8 @@ void SimplexSolver::Build(
   };
 
   for (int j = 0; j < num_struct_; ++j) {
-    // Merge duplicates.
-    auto& entries = cols[j];
-    std::sort(entries.begin(), entries.end());
-    std::vector<std::pair<int, double>> merged;
-    for (const auto& [i, v] : entries) {
-      if (!merged.empty() && merged.back().first == i) {
-        merged.back().second += v;
-      } else {
-        merged.emplace_back(i, v);
-      }
-    }
-    double lo = model_.variable(j).lower;
-    double hi = model_.variable(j).upper;
-    if (bound_overrides != nullptr) {
-      lo = (*bound_overrides)[j].first;
-      hi = (*bound_overrides)[j].second;
-    }
-    push_column(merged, lo, hi, model_.variable(j).objective);
+    push_column(cols[j], model_.variable(j).lower, model_.variable(j).upper,
+                model_.variable(j).objective);
   }
 
   // Logical column per row: a·x + s = b with sense-dependent bounds.
@@ -178,9 +93,44 @@ void SimplexSolver::Build(
     }
     push_column({{i, 1.0}}, lo, hi, 0.0);
   }
+  col_start_.push_back(static_cast<int>(row_index_.size()));
 
   num_cols_ = num_struct_ + num_logicals;
   first_artificial_ = num_cols_;
+  state_.assign(num_cols_, VarState::kAtLower);
+  xval_.assign(num_cols_, 0.0);
+  basis_.assign(num_rows_, -1);
+}
+
+void SimplexSolver::SetBounds(
+    const std::vector<std::pair<double, double>>* bound_overrides) {
+  for (int j = 0; j < num_struct_; ++j) {
+    if (bound_overrides != nullptr) {
+      lower_[j] = (*bound_overrides)[j].first;
+      upper_[j] = (*bound_overrides)[j].second;
+    } else {
+      lower_[j] = model_.variable(j).lower;
+      upper_[j] = model_.variable(j).upper;
+    }
+  }
+}
+
+void SimplexSolver::TruncateArtificials() {
+  if (num_cols_ == first_artificial_) return;
+  row_index_.resize(col_start_[first_artificial_]);
+  value_.resize(col_start_[first_artificial_]);
+  col_start_.resize(first_artificial_ + 1);
+  lower_.resize(first_artificial_);
+  upper_.resize(first_artificial_);
+  real_cost_.resize(first_artificial_);
+  state_.resize(first_artificial_);
+  xval_.resize(first_artificial_);
+  num_cols_ = first_artificial_;
+}
+
+void SimplexSolver::ResetToCrashBasis() {
+  TruncateArtificials();
+  etas_.clear();
 
   // Nonbasic start: every structural at its finite bound (preferring lower),
   // logicals basic where feasible, artificials where not.
@@ -230,6 +180,7 @@ void SimplexSolver::Build(
     }
   }
 
+  col_start_.pop_back();  // re-open the column list for the artificials
   for (const auto& [row, sign] : artificial_cols) {
     col_start_.push_back(static_cast<int>(row_index_.size()));
     row_index_.push_back(row);
@@ -255,6 +206,21 @@ void SimplexSolver::Build(
   col_start_.push_back(static_cast<int>(row_index_.size()));
 
   assert(static_cast<int>(col_start_.size()) == num_cols_ + 1);
+}
+
+void SimplexSolver::ResetCallCounters() {
+  iterations_ = 0;
+  phase1_iterations_ = 0;
+  factorizations_ = 0;
+  stall_count_ = 0;
+  use_bland_ = false;
+  deadline_ = Deadline(options_.time_limit_seconds);
+}
+
+long SimplexSolver::MaxIterations() const {
+  return options_.max_iterations > 0
+             ? options_.max_iterations
+             : 200L * (num_rows_ + num_cols_) + 20000L;
 }
 
 void SimplexSolver::ScatterColumn(int j, std::vector<double>& out) const {
@@ -283,6 +249,7 @@ void SimplexSolver::Btran(std::vector<double>& v) const {
 }
 
 bool SimplexSolver::Refactorize() {
+  ++factorizations_;
   std::vector<int> old_basis = basis_;
   etas_.clear();
   std::vector<bool> pivoted(num_rows_, false);
@@ -417,11 +384,10 @@ LpStatus SimplexSolver::RunPhase(long max_iterations) {
   while (true) {
     if (iterations_ >= max_iterations) return LpStatus::kIterationLimit;
     if ((iterations_ & 63) == 0 && deadline_.Expired()) {
-      return LpStatus::kIterationLimit;
+      return LpStatus::kTimeLimit;
     }
     ComputeReducedCosts(d);
-    const int entering =
-        use_bland_ ? PriceBland(d) : PriceDantzig(d);
+    const int entering = use_bland_ ? PriceBland(d) : PriceDantzig(d);
     if (entering < 0) return LpStatus::kOptimal;
 
     // Direction: +1 when the entering variable increases.
@@ -530,12 +496,32 @@ LpStatus SimplexSolver::RunPhase(long max_iterations) {
   }
 }
 
-LpResult SimplexSolver::Solve() {
+LpResult SimplexSolver::FinishResult(LpStatus status, bool warm,
+                                     bool expose_partial) {
   LpResult result;
-  const long max_iterations =
-      options_.max_iterations > 0
-          ? options_.max_iterations
-          : 200L * (num_rows_ + num_cols_) + 20000L;
+  result.status = status;
+  result.iterations = iterations_;
+  result.phase1_iterations = phase1_iterations_;
+  result.dual_iterations = warm ? iterations_ : 0;
+  result.factorizations = factorizations_;
+  result.warm_started = warm;
+  // Limit-stop iterates are only exposed when the caller says they are
+  // primal feasible (a phase-2 primal stop); a phase-1 or dual stop leaves
+  // a bound-violating iterate that must never look like an answer.
+  if (status == LpStatus::kOptimal ||
+      (expose_partial && (status == LpStatus::kIterationLimit ||
+                          status == LpStatus::kTimeLimit))) {
+    result.values.assign(xval_.begin(), xval_.begin() + num_struct_);
+    result.objective = model_.EvaluateObjective(result.values);
+  }
+  basis_ready_ = status == LpStatus::kOptimal;
+  return result;
+}
+
+LpResult SimplexSolver::Solve() {
+  ResetCallCounters();
+  ResetToCrashBasis();
+  const long max_iterations = MaxIterations();
 
   // Phase 1: drive artificials to zero.
   const bool has_artificials = num_cols_ > first_artificial_;
@@ -545,18 +531,18 @@ LpResult SimplexSolver::Solve() {
     LpStatus status = RunPhase(max_iterations);
     phase1_iterations_ = iterations_;
     if (status == LpStatus::kNumericalFailure ||
-        status == LpStatus::kIterationLimit) {
-      result.status = status;
-      result.iterations = iterations_;
-      return result;
+        status == LpStatus::kIterationLimit ||
+        status == LpStatus::kTimeLimit) {
+      return FinishResult(status, /*warm=*/false,
+                          /*expose_partial=*/false);  // phase-1 iterate
     }
     // Unbounded cannot happen in phase 1 (objective bounded below by 0).
     const double infeasibility = PhaseObjective();
-    if (infeasibility > options_.feasibility_tol * (1.0 + std::abs(infeasibility))
-        && infeasibility > 1e-6) {
-      result.status = LpStatus::kInfeasible;
-      result.iterations = iterations_;
-      return result;
+    if (infeasibility >
+            options_.feasibility_tol * (1.0 + std::abs(infeasibility)) &&
+        infeasibility > 1e-6) {
+      return FinishResult(LpStatus::kInfeasible, /*warm=*/false,
+                          /*expose_partial=*/false);
     }
     // Fix artificials at zero for phase 2.
     for (int j = first_artificial_; j < num_cols_; ++j) {
@@ -567,34 +553,307 @@ LpResult SimplexSolver::Solve() {
 
   cost_ = real_cost_;
   cost_.resize(num_cols_, 0.0);
-  LpStatus status = RunPhase(max_iterations);
-  result.status = status;
-  result.iterations = iterations_;
-  result.phase1_iterations = phase1_iterations_;
-  if (status == LpStatus::kOptimal || status == LpStatus::kIterationLimit) {
-    result.values.assign(xval_.begin(), xval_.begin() + num_struct_);
-    result.objective = model_.EvaluateObjective(result.values);
+  return FinishResult(RunPhase(max_iterations), /*warm=*/false,
+                      /*expose_partial=*/true);  // phase-2 iterate is feasible
+}
+
+LpResult SimplexSolver::SolveWithRetry() {
+  LpResult result = Solve();
+  if (result.status == LpStatus::kNumericalFailure) {
+    // One retry with tighter refactorization; PFI accuracy is the usual
+    // culprit and a short eta file avoids it.
+    const SimplexOptions saved = options_;
+    options_.refactor_interval = 20;
+    options_.pivot_tol = 1e-10;
+    result = Solve();
+    options_ = saved;
   }
   return result;
 }
 
-}  // namespace
+Basis SimplexSolver::SaveBasis() const {
+  Basis basis;
+  basis.basic_of_row_ = basis_;
+  basis.state_.resize(first_artificial_);
+  for (int j = 0; j < first_artificial_; ++j) {
+    basis.state_[j] = static_cast<uint8_t>(state_[j]);
+  }
+  basis.valid_ = basis_ready_;
+  for (int j : basis_) {
+    // A basic phase-1 artificial (degenerate at zero) cannot be reproduced
+    // from the struct+logical snapshot; such bases are not reusable.
+    if (j < 0 || j >= first_artificial_) basis.valid_ = false;
+  }
+  return basis;
+}
+
+bool SimplexSolver::LoadBasis(const Basis& basis) {
+  if (!basis.valid_ || basis.num_rows() != num_rows_ ||
+      static_cast<int>(basis.state_.size()) != first_artificial_) {
+    return false;
+  }
+  TruncateArtificials();
+  basis_ = basis.basic_of_row_;
+  for (int j = 0; j < first_artificial_; ++j) {
+    state_[j] = static_cast<VarState>(basis.state_[j]);
+  }
+  basis_ready_ = true;
+  return true;
+}
+
+LpStatus SimplexSolver::RunDual(long max_iterations) {
+  std::vector<double> d;
+  std::vector<double> rho(num_rows_);
+  std::vector<double> alpha(num_cols_, 0.0);
+  std::vector<double> w(num_rows_);
+  double last_infeasibility = kLpInfinity;
+  int since_refactor = 0;
+  int consecutive_repairs = 0;
+
+  // Reduced costs are computed once and updated incrementally per pivot
+  // (d'_j = d_j - (d_q/alpha_q)*alpha_j over the already-computed alpha
+  // row); every refactorization recomputes them from scratch, which bounds
+  // the incremental drift at refactor_interval pivots.
+  ComputeReducedCosts(d);
+
+  while (true) {
+    if (iterations_ >= max_iterations) return LpStatus::kIterationLimit;
+    if ((iterations_ & 63) == 0 && deadline_.Expired()) {
+      return LpStatus::kTimeLimit;
+    }
+
+    // Leaving row: the most primal-infeasible basic variable (Bland: the
+    // infeasible row whose basic variable has the smallest column index).
+    int r = -1;
+    double worst = options_.feasibility_tol;
+    double total_infeasibility = 0.0;
+    for (int i = 0; i < num_rows_; ++i) {
+      const int b = basis_[i];
+      double violation = 0.0;
+      if (std::isfinite(lower_[b]) && xval_[b] < lower_[b]) {
+        violation = lower_[b] - xval_[b];
+      } else if (std::isfinite(upper_[b]) && xval_[b] > upper_[b]) {
+        violation = xval_[b] - upper_[b];
+      }
+      total_infeasibility += violation;
+      if (use_bland_) {
+        if (violation > options_.feasibility_tol &&
+            (r < 0 || b < basis_[r])) {
+          r = i;
+        }
+      } else if (violation > worst) {
+        worst = violation;
+        r = i;
+      }
+    }
+    if (r < 0) return LpStatus::kOptimal;  // primal + dual feasible
+
+    // Degeneracy watch: no strict progress for stall_threshold pivots
+    // switches both selection rules to Bland's. The isfinite guard seeds
+    // the baseline on the first pivot (inf - inf is NaN, which would
+    // otherwise make this branch unreachable).
+    if (!std::isfinite(last_infeasibility) ||
+        total_infeasibility <
+            last_infeasibility - 1e-12 * (1.0 + last_infeasibility)) {
+      stall_count_ = 0;
+      last_infeasibility = total_infeasibility;
+    } else if (++stall_count_ > options_.stall_threshold) {
+      use_bland_ = true;
+    }
+
+    const int leaving = basis_[r];
+    const bool below =
+        std::isfinite(lower_[leaving]) && xval_[leaving] < lower_[leaving];
+    // infeas > 0 when the basic variable sits above its upper bound.
+    const double infeas =
+        below ? xval_[leaving] - lower_[leaving]
+              : xval_[leaving] - upper_[leaving];
+
+    // Row r of B^{-1}A: alpha_j = rho·a_j with rho = B^{-T} e_r. The full
+    // row (not just the eligible candidates) feeds the post-pivot update.
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[r] = 1.0;
+    Btran(rho);
+
+    // Dual ratio test: among sign-eligible nonbasic columns, the entering
+    // one minimizes |d_j| / |alpha_j| so the pivot keeps dual feasibility.
+    int entering = -1;
+    double best_ratio = kLpInfinity;
+    double best_alpha = 0.0;
+    double entering_alpha = 0.0;
+    for (int j = 0; j < num_cols_; ++j) {
+      alpha[j] = 0.0;
+      if (state_[j] == VarState::kBasic) continue;
+      if (lower_[j] == upper_[j]) continue;  // fixed: cannot move
+      double a = 0.0;
+      for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        a += rho[row_index_[k]] * value_[k];
+      }
+      alpha[j] = a;
+      if (std::abs(a) <= options_.pivot_tol) continue;
+      // The entering step is theta = infeas / alpha; its sign must move the
+      // entering variable off its bound in a feasible direction.
+      const bool at_lower = state_[j] == VarState::kAtLower;
+      const bool free_var =
+          !std::isfinite(lower_[j]) && !std::isfinite(upper_[j]);
+      const double theta_sign = infeas / a;
+      if (!free_var) {
+        if (at_lower && theta_sign <= 0) continue;
+        if (!at_lower && theta_sign >= 0) continue;
+      }
+      double numerator;
+      if (free_var) {
+        numerator = std::abs(d[j]);
+      } else if (at_lower) {
+        numerator = std::max(d[j], 0.0);  // clamp tolerance-level noise
+      } else {
+        numerator = std::max(-d[j], 0.0);
+      }
+      const double ratio = numerator / std::abs(a);
+      const bool better =
+          use_bland_
+              ? ratio < best_ratio - 1e-12
+              : (ratio < best_ratio - 1e-12 ||
+                 (ratio < best_ratio + 1e-12 &&
+                  std::abs(a) > std::abs(best_alpha)));
+      if (better) {
+        best_ratio = ratio;
+        best_alpha = a;
+        entering = j;
+        entering_alpha = a;
+      }
+    }
+    if (entering < 0) {
+      // Dual unbounded: the violated row cannot be repaired — primal
+      // infeasible (sound because the start basis was dual feasible).
+      return LpStatus::kInfeasible;
+    }
+
+    ScatterColumn(entering, w);
+    Ftran(w);
+    if (std::abs(w[r]) <= options_.pivot_tol ||
+        std::abs(w[r] - entering_alpha) >
+            0.5 * std::abs(w[r]) + options_.feasibility_tol) {
+      // FTRAN and BTRAN disagree about the pivot: the eta file has drifted.
+      if (++consecutive_repairs > 2 || !Refactorize()) {
+        return LpStatus::kNumericalFailure;
+      }
+      since_refactor = 0;
+      ComputeReducedCosts(d);  // fresh inverse: re-price from scratch
+      continue;
+    }
+    consecutive_repairs = 0;
+
+    const double theta = infeas / w[r];
+    for (int i = 0; i < num_rows_; ++i) {
+      if (w[i] != 0.0) xval_[basis_[i]] -= theta * w[i];
+    }
+    xval_[entering] += theta;
+    xval_[leaving] = below ? lower_[leaving] : upper_[leaving];
+    state_[leaving] = below ? VarState::kAtLower : VarState::kAtUpper;
+
+    // Incremental dual update over the alpha row, before the basis flips:
+    // the entering column's reduced cost zeroes out, the leaving variable
+    // picks up -dual_step, everything else shifts by dual_step * alpha_j.
+    const double dual_step = d[entering] / entering_alpha;
+    if (dual_step != 0.0) {
+      for (int j = 0; j < num_cols_; ++j) {
+        if (alpha[j] != 0.0) d[j] -= dual_step * alpha[j];
+      }
+    }
+    d[entering] = 0.0;
+    d[leaving] = -dual_step;
+
+    state_[entering] = VarState::kBasic;
+    basis_[r] = entering;
+
+    Eta eta;
+    eta.row = r;
+    eta.pivot = w[r];
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i != r && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
+    }
+    etas_.push_back(std::move(eta));
+    ++iterations_;
+
+    if (++since_refactor >= options_.refactor_interval) {
+      if (!Refactorize()) return LpStatus::kNumericalFailure;
+      since_refactor = 0;
+      ComputeReducedCosts(d);
+    }
+  }
+}
+
+LpResult SimplexSolver::Reoptimize() {
+  ResetCallCounters();
+  if (!basis_ready_) return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+                        /*expose_partial=*/false);
+  for (int j : basis_) {
+    if (j < 0 || j >= first_artificial_) {
+      return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+                        /*expose_partial=*/false);
+    }
+  }
+  TruncateArtificials();
+
+  // Snap nonbasic variables onto the (possibly changed) bounds. States that
+  // no longer make sense (at-upper with the bound gone) degrade to the
+  // nearest finite bound, or 0 for free variables.
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    if (state_[j] == VarState::kAtUpper && !std::isfinite(upper_[j])) {
+      state_[j] = VarState::kAtLower;
+    }
+    if (state_[j] == VarState::kAtLower && !std::isfinite(lower_[j]) &&
+        std::isfinite(upper_[j])) {
+      // Keep the free-at-zero convention only for doubly-infinite bounds.
+      state_[j] = VarState::kAtUpper;
+    }
+    xval_[j] = state_[j] == VarState::kAtUpper
+                   ? upper_[j]
+                   : (std::isfinite(lower_[j]) ? lower_[j] : 0.0);
+  }
+
+  cost_ = real_cost_;
+  if (!Refactorize()) {
+    return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+                        /*expose_partial=*/false);
+  }
+
+  // The dual simplex needs a dual-feasible start; the parent's optimal
+  // basis is one (bound changes leave reduced costs untouched), but verify
+  // within a loosened tolerance so a drifted snapshot falls back cold
+  // instead of "proving" a wrong infeasibility.
+  std::vector<double> d;
+  ComputeReducedCosts(d);
+  const double dual_tol = 10.0 * options_.optimality_tol;
+  for (int j = 0; j < num_cols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    if (lower_[j] == upper_[j]) continue;
+    const bool free_var =
+        !std::isfinite(lower_[j]) && !std::isfinite(upper_[j]);
+    if (free_var) {
+      if (std::abs(d[j]) > dual_tol) {
+        return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+                        /*expose_partial=*/false);
+      }
+    } else if (state_[j] == VarState::kAtLower ? d[j] < -dual_tol
+                                               : d[j] > dual_tol) {
+      return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+                        /*expose_partial=*/false);
+    }
+  }
+
+  return FinishResult(RunDual(MaxIterations()), /*warm=*/true,
+                      /*expose_partial=*/false);  // dual stops are infeasible
+}
 
 LpResult SolveLp(const LpModel& model, const SimplexOptions& options,
                  const std::vector<std::pair<double, double>>*
                      bound_overrides) {
-  SimplexSolver solver(model, options, bound_overrides);
-  LpResult result = solver.Solve();
-  if (result.status == LpStatus::kNumericalFailure) {
-    // One retry with tighter refactorization; PFI accuracy is the usual
-    // culprit and a short eta file avoids it.
-    SimplexOptions retry = options;
-    retry.refactor_interval = 20;
-    retry.pivot_tol = 1e-10;
-    SimplexSolver second(model, retry, bound_overrides);
-    result = second.Solve();
-  }
-  return result;
+  SimplexSolver solver(model, options);
+  solver.SetBounds(bound_overrides);
+  return solver.SolveWithRetry();
 }
 
 }  // namespace vpart

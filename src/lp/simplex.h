@@ -1,10 +1,13 @@
 #ifndef VPART_LP_SIMPLEX_H_
 #define VPART_LP_SIMPLEX_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "lp/model.h"
+#include "lp/solve_stats.h"
+#include "util/stopwatch.h"
 
 namespace vpart {
 
@@ -13,6 +16,7 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  kTimeLimit,
   kNumericalFailure,
 };
 
@@ -29,30 +33,193 @@ struct SimplexOptions {
   /// 200·(rows+cols) + 20000.
   long max_iterations = -1;
   /// Wall-clock cap in seconds; <= 0 means none. A timed-out solve reports
-  /// kIterationLimit (the result is unusable either way).
+  /// kTimeLimit.
   double time_limit_seconds = 0.0;
   /// Refactorize (rebuild the product-form inverse) this often.
   int refactor_interval = 100;
   /// After this many consecutive non-improving (degenerate) iterations the
-  /// pricing switches to Bland's rule, which guarantees termination.
+  /// pricing switches to Bland's rule, which guarantees termination. Applies
+  /// to both the primal phases and the dual reoptimization.
   long stall_threshold = 2000;
 };
 
 struct LpResult {
   LpStatus status = LpStatus::kNumericalFailure;
   double objective = 0.0;
-  std::vector<double> values;  // structural variables only
+  /// Structural variable values. Populated for kOptimal, and as a
+  /// best-effort (feasible but suboptimal) iterate when the phase-2 primal
+  /// stops on an iteration/time limit; empty otherwise — a phase-1 or
+  /// dual-reoptimization stop leaves a primal-infeasible iterate, which is
+  /// never exposed.
+  std::vector<double> values;
+  /// Total pivots of this call (primal phases, or dual when warm_started).
   long iterations = 0;
   long phase1_iterations = 0;
+  /// Dual pivots (non-zero only for Reoptimize calls).
+  long dual_iterations = 0;
+  /// Product-form-inverse rebuilds during this call.
+  long factorizations = 0;
+  /// True when this result came from a dual reoptimization of a loaded
+  /// basis rather than a cold two-phase primal.
+  bool warm_started = false;
+};
+
+/// Snapshot of a simplex basis: which column is basic in each row and the
+/// at-lower/at-upper state of every nonbasic column (structurals and
+/// logicals). Cheap to copy, safe to share across threads once saved, and
+/// valid for any SimplexSolver built over the *same* LpModel — the point is
+/// to carry a parent B&B node's optimal basis into its children. A snapshot
+/// taken while a phase-1 artificial is still basic reports !valid() (rare;
+/// callers fall back to a cold solve).
+class Basis {
+ public:
+  bool valid() const { return valid_; }
+  int num_rows() const { return static_cast<int>(basic_of_row_.size()); }
+
+ private:
+  friend class SimplexSolver;
+  std::vector<int> basic_of_row_;    // row -> column
+  std::vector<uint8_t> state_;       // column -> VarState (struct + logical)
+  bool valid_ = false;
+};
+
+/// Reusable bounded-variable simplex over one LpModel. The constraint
+/// matrix is built once (CSC over structural + logical columns); bounds,
+/// time budgets, and the basis are replaceable between solves, so a branch
+/// & bound pays the matrix build once per tree and each node solve is
+///
+///   solver.SetBounds(&node_bounds);
+///   if (solver.LoadBasis(parent_basis)) result = solver.Reoptimize();
+///   if (result.status needs it)         result = solver.Solve();   // cold
+///
+/// Solve() is the original two-phase primal (Dantzig pricing, Bland
+/// anti-cycling fallback, product-form inverse). Reoptimize() runs a
+/// bounded-variable dual simplex from the loaded basis: after a bound
+/// tightening the parent's optimal basis stays dual feasible, so the child
+/// reoptimizes in a handful of dual pivots without any phase 1.
+///
+/// Not thread-safe; use one SimplexSolver per worker. The model must
+/// outlive the solver.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const LpModel& model,
+                         const SimplexOptions& options = {});
+
+  /// Replaces the structural variable bounds used by subsequent solves.
+  /// `bound_overrides`, when non-null, supplies per-variable (lower, upper)
+  /// pairs replacing the model bounds — used by branch & bound to explore
+  /// nodes without copying the model. Null restores the model's own bounds.
+  void SetBounds(
+      const std::vector<std::pair<double, double>>* bound_overrides);
+
+  /// Per-call wall-clock budget; <= 0 means none.
+  void SetTimeLimit(double seconds) { options_.time_limit_seconds = seconds; }
+
+  const SimplexOptions& options() const { return options_; }
+  void set_options(const SimplexOptions& options) { options_ = options; }
+
+  /// Cold solve: crash basis, phase 1 (artificials), phase 2 primal.
+  LpResult Solve();
+
+  /// Solve() with the historical numerical-failure retry: one more cold
+  /// attempt under a tighter refactorization schedule before giving up.
+  LpResult SolveWithRetry();
+
+  /// Dual-simplex reoptimization from the current basis (set by LoadBasis,
+  /// or left by a previous optimal solve). Returns kOptimal/kInfeasible on
+  /// a completed proof; kNumericalFailure when the basis is unusable
+  /// (singular, dual infeasible beyond tolerance, artificial still basic) —
+  /// the caller's ladder then falls back to a cold Solve().
+  LpResult Reoptimize();
+
+  /// Snapshot of the current basis (see Basis). Call after an optimal
+  /// Solve()/Reoptimize().
+  Basis SaveBasis() const;
+
+  /// Installs a snapshot taken from a solver over the same model. Returns
+  /// false (leaving the solver needing a cold Solve()) on an invalid or
+  /// shape-mismatched snapshot.
+  bool LoadBasis(const Basis& basis);
+
+  const LpModel& model() const { return model_; }
+
+ private:
+  enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper };
+
+  /// One elementary transformation of the product-form inverse: the basis
+  /// changed by bringing the (FTRAN-ed) column `w` into position `row`.
+  struct Eta {
+    int row = -1;
+    double pivot = 0.0;                         // w[row]
+    std::vector<std::pair<int, double>> other;  // (i, w[i]) for i != row
+  };
+
+  // --- setup -------------------------------------------------------------
+  void BuildMatrix();
+  void TruncateArtificials();
+  /// Rebuilds the crash basis (nonbasic structurals at bounds, logicals
+  /// basic where feasible, artificials where not) for a cold solve.
+  void ResetToCrashBasis();
+  void ResetCallCounters();
+  /// `expose_partial`: limit-stop iterates are primal feasible (phase-2
+  /// primal) and may be reported as best-effort values.
+  LpResult FinishResult(LpStatus status, bool warm, bool expose_partial);
+
+  // --- linear algebra over the product-form inverse ----------------------
+  void Ftran(std::vector<double>& w) const;  // w := B^{-1} w
+  void Btran(std::vector<double>& v) const;  // v := B^{-T} v
+  void ScatterColumn(int j, std::vector<double>& out) const;
+  bool Refactorize();
+  void RecomputeBasicValues();
+
+  // --- primal iteration --------------------------------------------------
+  int PriceDantzig(const std::vector<double>& d) const;
+  int PriceBland(const std::vector<double>& d) const;
+  void ComputeReducedCosts(std::vector<double>& d) const;
+  LpStatus RunPhase(long max_iterations);
+  double PhaseObjective() const;
+
+  // --- dual iteration ----------------------------------------------------
+  LpStatus RunDual(long max_iterations);
+
+  long MaxIterations() const;
+
+  // --- problem data ------------------------------------------------------
+  const LpModel& model_;
+  SimplexOptions options_;
+  Deadline deadline_{0.0};
+
+  int num_rows_ = 0;
+  int num_struct_ = 0;
+  int num_cols_ = 0;  // struct + logicals (+ artificials during cold solves)
+
+  // CSC matrix over all columns.
+  std::vector<int> col_start_;
+  std::vector<int> row_index_;
+  std::vector<double> value_;
+
+  std::vector<double> lower_, upper_;
+  std::vector<double> cost_;       // active phase cost
+  std::vector<double> real_cost_;  // phase-2 cost
+  std::vector<double> rhs_;
+  int first_artificial_ = 0;  // columns >= this are artificial
+
+  // --- simplex state -----------------------------------------------------
+  std::vector<int> basis_;       // row -> column
+  std::vector<VarState> state_;  // column -> state
+  std::vector<double> xval_;     // column -> current value
+  std::vector<Eta> etas_;
+  bool basis_ready_ = false;  // a loaded/left basis is available
+  long iterations_ = 0;
+  long phase1_iterations_ = 0;
+  long factorizations_ = 0;
+  long stall_count_ = 0;
+  bool use_bland_ = false;
 };
 
 /// Solves the LP relaxation of `model` (integrality flags ignored) with a
-/// two-phase primal simplex: bounded variables, product-form inverse,
-/// Dantzig pricing with a Bland anti-cycling fallback.
-///
-/// `bound_overrides`, when non-null, supplies per-variable (lower, upper)
-/// pairs replacing the model bounds — used by branch & bound to explore
-/// nodes without copying the model.
+/// cold two-phase primal simplex — the one-shot convenience wrapper over
+/// SimplexSolver, kept for callers that solve each model once.
 LpResult SolveLp(const LpModel& model, const SimplexOptions& options = {},
                  const std::vector<std::pair<double, double>>*
                      bound_overrides = nullptr);

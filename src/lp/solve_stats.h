@@ -1,0 +1,52 @@
+#ifndef VPART_LP_SOLVE_STATS_H_
+#define VPART_LP_SOLVE_STATS_H_
+
+namespace vpart {
+
+/// Aggregated telemetry of a sequence of LP solves — one branch & bound
+/// search, one portfolio ILP lane, one advise request. Produced per call by
+/// SimplexSolver (lp/simplex.h), accumulated by mip/, and threaded through
+/// solver/ -> engine/ -> api/ so a service can see how warm starting is
+/// doing (warm_starts vs cold_starts, dual vs primal pivots) without
+/// attaching a profiler.
+struct LpSolveStats {
+  /// LP relaxations solved (every B&B node, dive step, and retry target).
+  long lp_solves = 0;
+  /// Solves answered by dual-simplex reoptimization from a parent basis.
+  long warm_starts = 0;
+  /// Solves answered by the two-phase primal from a crash basis.
+  long cold_starts = 0;
+  /// Warm attempts that had to fall back to a cold solve (numerical
+  /// failure, a stale or dual-infeasible basis, or an iteration cap hit
+  /// mid-reoptimization; a time-limit expiry is not retried and counts
+  /// toward neither warm_starts nor cold_starts).
+  long warm_start_failures = 0;
+  /// Primal pivots across all cold solves (includes the phase-1 share).
+  long primal_iterations = 0;
+  /// Phase-1 share of primal_iterations.
+  long phase1_iterations = 0;
+  /// Dual pivots across all warm reoptimizations.
+  long dual_iterations = 0;
+  /// Product-form-inverse rebuilds (basis refactorizations).
+  long factorizations = 0;
+  /// Wall clock spent inside LP solves.
+  double lp_seconds = 0.0;
+
+  long total_iterations() const { return primal_iterations + dual_iterations; }
+
+  void Add(const LpSolveStats& other) {
+    lp_solves += other.lp_solves;
+    warm_starts += other.warm_starts;
+    cold_starts += other.cold_starts;
+    warm_start_failures += other.warm_start_failures;
+    primal_iterations += other.primal_iterations;
+    phase1_iterations += other.phase1_iterations;
+    dual_iterations += other.dual_iterations;
+    factorizations += other.factorizations;
+    lp_seconds += other.lp_seconds;
+  }
+};
+
+}  // namespace vpart
+
+#endif  // VPART_LP_SOLVE_STATS_H_

@@ -73,6 +73,77 @@ int MostFractionalVariable(const LpModel& model, double integrality_tol,
   return best;
 }
 
+/// Per-worker LP engine: one reusable SimplexSolver (the constraint matrix
+/// is built once per tree, not once per node) plus the warm/cold fallback
+/// ladder — dual reoptimization from the parent basis, then cold two-phase
+/// primal, then the cold retry under tight refactorization.
+class NodeLpSolver {
+ public:
+  NodeLpSolver(const LpModel& model, const MipOptions& options)
+      : solver_(model, options.lp_options),
+        use_warm_(options.use_warm_start) {}
+
+  /// Solves the node LP under `bounds`, trying `warm` (the parent node's
+  /// optimal basis) first when warm starting is on. `delta` receives the
+  /// telemetry of exactly this call, so callers can merge it wherever
+  /// their locking discipline wants.
+  LpResult Solve(const std::vector<std::pair<double, double>>& bounds,
+                 const Basis* warm, double time_limit, LpSolveStats& delta) {
+    delta = LpSolveStats();
+    Stopwatch watch;
+    solver_.SetBounds(&bounds);
+    solver_.SetTimeLimit(time_limit);
+    LpResult lp;
+    bool answered = false;
+    if (use_warm_ && warm != nullptr && solver_.LoadBasis(*warm)) {
+      lp = solver_.Reoptimize();
+      delta.dual_iterations += lp.dual_iterations;
+      delta.factorizations += lp.factorizations;
+      if (lp.status == LpStatus::kOptimal ||
+          lp.status == LpStatus::kInfeasible) {
+        ++delta.warm_starts;
+        answered = true;
+      } else if (lp.status == LpStatus::kTimeLimit) {
+        // The node budget ran out mid-reoptimization; a cold start would
+        // only spend more of a budget that is already gone.
+        answered = true;
+      } else {
+        ++delta.warm_start_failures;
+      }
+    }
+    if (!answered) {
+      lp = solver_.SolveWithRetry();
+      ++delta.cold_starts;
+      delta.primal_iterations += lp.iterations;
+      delta.phase1_iterations += lp.phase1_iterations;
+      delta.factorizations += lp.factorizations;
+    }
+    ++delta.lp_solves;
+    delta.lp_seconds = watch.ElapsedSeconds();
+    return lp;
+  }
+
+  /// Snapshot of the last optimal basis, shareable with child nodes; the
+  /// returned basis reports !valid() when no reusable basis exists.
+  Basis SaveBasis() const { return solver_.SaveBasis(); }
+
+  bool warm_enabled() const { return use_warm_; }
+
+ private:
+  SimplexSolver solver_;
+  bool use_warm_;
+};
+
+/// Per-LP wall budget shared by both search modes: whatever remains of the
+/// MIP clock, or the raw LP option when the search is unbounded. An expired
+/// deadline reports an epsilon, not 0 — SimplexOptions reads <= 0 as "no
+/// limit", which would let one node LP run unbudgeted past the MIP wall
+/// clock.
+double NodeLpBudget(const Deadline& deadline, const MipOptions& options) {
+  if (!deadline.HasLimit()) return options.lp_options.time_limit_seconds;
+  return std::max(deadline.RemainingSeconds(), 1e-9);
+}
+
 /// Shared status/flag assignment for both search modes.
 ///  * `clean` — the tree emptied with no limit stop and no dropped LP node.
 ///  * `closed` — the remaining open bound is within the gap of the
@@ -103,7 +174,9 @@ void FinalizeStatus(bool have_incumbent, double incumbent_obj,
 // Serial depth-first search (num_threads == 1): the original plunging DFS.
 // ---------------------------------------------------------------------------
 
-/// A node is a chain of single-variable bound tightenings over the root.
+/// A node is a chain of single-variable bound tightenings over the root,
+/// plus the optimal basis of its parent's relaxation for the dual warm
+/// start (children of one parent share the snapshot).
 struct Node {
   int parent = -1;
   int var = -1;
@@ -111,12 +184,16 @@ struct Node {
   double upper = 0.0;
   double bound = -kLpInfinity;  // LP bound inherited from the parent
   int depth = 0;
+  std::shared_ptr<const Basis> warm;
 };
 
 class BranchAndBound {
  public:
   BranchAndBound(const LpModel& model, const MipOptions& options)
-      : model_(model), options_(options), deadline_(options.time_limit_seconds) {}
+      : model_(model),
+        options_(options),
+        deadline_(options.time_limit_seconds),
+        node_lp_(model, options) {}
 
   MipResult Run();
 
@@ -132,14 +209,16 @@ class BranchAndBound {
   bool PruneBound(double bound);
   bool GapClosed();
   /// Rounding dive from (bounds, lp): repeatedly fixes the fractional
-  /// integer closest to integrality at its rounding and re-solves. Any
-  /// integral LP optimum found becomes an incumbent candidate.
+  /// integer closest to integrality at its rounding and re-solves — each
+  /// step warm-starting off the previous one's basis.
   void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp);
+  double NodeBudget() const { return NodeLpBudget(deadline_, options_); }
 
   const LpModel& model_;
   const MipOptions& options_;
   Deadline deadline_;
   Stopwatch watch_;
+  NodeLpSolver node_lp_;
 
   bool have_incumbent_ = false;
   double incumbent_obj_ = kLpInfinity;
@@ -198,6 +277,7 @@ void BranchAndBound::EmitProgress(bool announce_incumbent) {
                             ? (have_incumbent_ ? incumbent_obj_ : -kLpInfinity)
                             : *open_bounds_.begin();
   snapshot.seconds = watch_.ElapsedSeconds();
+  snapshot.lp_stats = result_.lp_stats;
   if (announce_incumbent) snapshot.incumbent_values = incumbent_;
   options_.progress(snapshot);
 }
@@ -215,8 +295,11 @@ bool BranchAndBound::PruneBound(double bound) {
 
 void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
                           LpResult lp) {
-  // Bounded number of re-solves; each dive step fixes one variable.
+  // Bounded number of re-solves; each dive step fixes one variable, so the
+  // trail of optimal bases makes every step a single-bound-change dual
+  // reoptimization.
   const int max_depth = model_.num_variables() + 8;
+  Basis trail = node_lp_.warm_enabled() ? node_lp_.SaveBasis() : Basis();
   for (int depth = 0; depth < max_depth; ++depth) {
     if (deadline_.Expired() || Cancelled(options_)) return;
     // Find the fractional integer variable closest to an integer value.
@@ -238,13 +321,12 @@ void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
     }
     const double rounded = std::round(lp.values[best]);
     bounds[best] = {rounded, rounded};
-    SimplexOptions lp_options = options_.lp_options;
-    if (deadline_.HasLimit()) {
-      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
-    }
-    lp = SolveLp(model_, lp_options, &bounds);
-    result_.lp_iterations += lp.iterations;
+    LpSolveStats delta;
+    lp = node_lp_.Solve(bounds, trail.valid() ? &trail : nullptr,
+                        NodeBudget(), delta);
+    result_.lp_stats.Add(delta);
     if (lp.status != LpStatus::kOptimal) return;  // dead end; give up
+    if (node_lp_.warm_enabled()) trail = node_lp_.SaveBasis();
     if (have_incumbent_ && lp.objective >= incumbent_obj_) return;
   }
 }
@@ -302,6 +384,10 @@ MipResult BranchAndBound::Run() {
     const int node_index = stack.back();
     stack.pop_back();
     const Node node = nodes[node_index];
+    // The chain vector is append-only (MaterializeBounds walks parents), so
+    // drop the processed node's snapshot now — otherwise every basis ever
+    // saved stays alive until the search ends.
+    nodes[node_index].warm.reset();
     open_bounds_.erase(open_bounds_.find(node.bound));
 
     // Bound-based pruning against the effective incumbent (gap-aware).
@@ -314,13 +400,10 @@ MipResult BranchAndBound::Run() {
     }
     MaterializeBounds(node_index, bounds, nodes);
 
-    SimplexOptions lp_options = options_.lp_options;
-    if (deadline_.HasLimit()) {
-      // Never let one relaxation run past the MIP's own wall clock.
-      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
-    }
-    LpResult lp = SolveLp(model_, lp_options, &bounds);
-    result_.lp_iterations += lp.iterations;
+    LpSolveStats delta;
+    LpResult lp =
+        node_lp_.Solve(bounds, node.warm.get(), NodeBudget(), delta);
+    result_.lp_stats.Add(delta);
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded) {
       // A bounded-variable MIP cannot be unbounded unless the model has
@@ -344,6 +427,17 @@ MipResult BranchAndBound::Run() {
       continue;
     }
 
+    // Children warm-start from this node's optimal basis. Snapshot before
+    // the dive below — the dive reuses the same simplex engine and would
+    // otherwise overwrite the basis the children need.
+    std::shared_ptr<const Basis> child_warm;
+    if (node_lp_.warm_enabled()) {
+      Basis saved = node_lp_.SaveBasis();
+      if (saved.valid()) {
+        child_warm = std::make_shared<const Basis>(std::move(saved));
+      }
+    }
+
     // Primal heuristic: dive from the root, and periodically while no
     // incumbent has been found yet.
     if (options_.enable_dive &&
@@ -362,6 +456,7 @@ MipResult BranchAndBound::Run() {
     down.upper = floor_value;
     down.bound = lp_bound;
     down.depth = node.depth + 1;
+    down.warm = child_warm;
 
     Node up;
     up.parent = node_index;
@@ -370,6 +465,7 @@ MipResult BranchAndBound::Run() {
     up.upper = bounds[branch_var].second;
     up.bound = lp_bound;
     up.depth = node.depth + 1;
+    up.warm = child_warm;
 
     // Plunge toward the side the LP leans to (pushed last = explored first).
     const bool prefer_up = (value - floor_value) > 0.5;
@@ -384,6 +480,7 @@ MipResult BranchAndBound::Run() {
   }
 
   result_.seconds = watch_.ElapsedSeconds();
+  result_.lp_iterations = result_.lp_stats.total_iterations();
   // Best bound: min over still-open nodes; exhausted tree -> incumbent —
   // capped by the external bound where it provided cuts (nodes pruned
   // against it were only proven >= the external value, not >= ours).
@@ -417,7 +514,9 @@ MipResult BranchAndBound::Run() {
 // Parallel best-first search (num_threads > 1): subproblem nodes fan out to
 // a thread pool over a mutex-guarded best-first queue; the incumbent is
 // shared. Node chains are immutable shared_ptr links so workers materialize
-// variable bounds without touching shared containers.
+// variable bounds without touching shared containers; each node also carries
+// its parent's optimal basis, which any worker's own simplex engine can
+// load (snapshots are immutable once published).
 // ---------------------------------------------------------------------------
 
 struct PNode {
@@ -428,6 +527,11 @@ struct PNode {
   double bound = -kLpInfinity;
   int depth = 0;
   long id = 0;  // creation order; tie-breaker for deterministic pops
+  /// mutable: exactly one worker pops (and therefore processes) a node, and
+  /// it clears the snapshot after the node LP — ancestors live on in the
+  /// parent chains of their descendants, and without the reset so would
+  /// every basis ever saved.
+  mutable std::shared_ptr<const Basis> warm;
 };
 
 class ParallelBranchAndBound {
@@ -452,7 +556,8 @@ class ParallelBranchAndBound {
 
   void Worker();
   void ProcessNode(const std::shared_ptr<const PNode>& node,
-                   std::vector<std::pair<double, double>>& bounds);
+                   std::vector<std::pair<double, double>>& bounds,
+                   NodeLpSolver& lp_solver);
   void MaterializeBounds(const PNode& node,
                          std::vector<std::pair<double, double>>& bounds) const;
   /// Locks internally; `objective` is recomputed after rounding.
@@ -460,7 +565,9 @@ class ParallelBranchAndBound {
   /// Snapshots progress under mu_ and fires the callback unlocked.
   void EmitProgressLocked(std::unique_lock<std::mutex>& lock,
                           bool announce_incumbent);
-  void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp);
+  void Dive(std::vector<std::pair<double, double>> bounds, LpResult lp,
+            NodeLpSolver& lp_solver);
+  double NodeBudget() const { return NodeLpBudget(deadline_, options_); }
 
   double OwnIncumbentLocked() const {
     return have_incumbent_ ? incumbent_obj_ : kLpInfinity;
@@ -494,7 +601,7 @@ class ParallelBranchAndBound {
   std::vector<double> incumbent_;
   double root_bound_ = -kLpInfinity;
   long nodes_processed_ = 0;
-  long lp_iterations_ = 0;
+  LpSolveStats lp_stats_;
   std::atomic<bool> diving_{false};
 };
 
@@ -541,6 +648,7 @@ void ParallelBranchAndBound::EmitProgressLocked(
                             ? (have_incumbent_ ? incumbent_obj_ : -kLpInfinity)
                             : *open_bounds_.begin();
   snapshot.seconds = watch_.ElapsedSeconds();
+  snapshot.lp_stats = lp_stats_;
   if (announce_incumbent) snapshot.incumbent_values = incumbent_;
   // Fire without the search lock so a slow handler never stalls siblings
   // (and a handler that queries this solver cannot self-deadlock).
@@ -576,9 +684,11 @@ bool ParallelBranchAndBound::GapClosedLocked() {
 }
 
 void ParallelBranchAndBound::Dive(
-    std::vector<std::pair<double, double>> bounds, LpResult lp) {
+    std::vector<std::pair<double, double>> bounds, LpResult lp,
+    NodeLpSolver& lp_solver) {
   const int max_depth = model_.num_variables() + 8;
-  long iterations = 0;
+  Basis trail = lp_solver.warm_enabled() ? lp_solver.SaveBasis() : Basis();
+  LpSolveStats dive_stats;
   for (int depth = 0; depth < max_depth; ++depth) {
     if (deadline_.Expired() || Cancelled(options_)) break;
     int best = -1;
@@ -598,36 +708,35 @@ void ParallelBranchAndBound::Dive(
     }
     const double rounded = std::round(lp.values[best]);
     bounds[best] = {rounded, rounded};
-    SimplexOptions lp_options = options_.lp_options;
-    if (deadline_.HasLimit()) {
-      lp_options.time_limit_seconds = deadline_.RemainingSeconds();
-    }
-    lp = SolveLp(model_, lp_options, &bounds);
-    iterations += lp.iterations;
+    LpSolveStats delta;
+    lp = lp_solver.Solve(bounds, trail.valid() ? &trail : nullptr,
+                         NodeBudget(), delta);
+    dive_stats.Add(delta);
     if (lp.status != LpStatus::kOptimal) break;
+    if (lp_solver.warm_enabled()) trail = lp_solver.SaveBasis();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (have_incumbent_ && lp.objective >= incumbent_obj_) break;
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
-  lp_iterations_ += iterations;
+  lp_stats_.Add(dive_stats);
 }
 
 void ParallelBranchAndBound::ProcessNode(
     const std::shared_ptr<const PNode>& node,
-    std::vector<std::pair<double, double>>& bounds) {
+    std::vector<std::pair<double, double>>& bounds,
+    NodeLpSolver& lp_solver) {
   MaterializeBounds(*node, bounds);
-  SimplexOptions lp_options = options_.lp_options;
-  if (deadline_.HasLimit()) {
-    lp_options.time_limit_seconds = deadline_.RemainingSeconds();
-  }
-  LpResult lp = SolveLp(model_, lp_options, &bounds);
+  LpSolveStats delta;
+  LpResult lp =
+      lp_solver.Solve(bounds, node->warm.get(), NodeBudget(), delta);
+  node->warm.reset();  // single consumer (this worker); see PNode::warm
 
   bool want_dive = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    lp_iterations_ += lp.iterations;
+    lp_stats_.Add(delta);
     if (lp.status == LpStatus::kInfeasible) {
       EraseOpenBoundLocked(node->bound);
       return;
@@ -661,9 +770,19 @@ void ParallelBranchAndBound::ProcessNode(
     return;
   }
 
+  // Children warm-start from this node's basis; snapshot before the dive
+  // reuses (and overwrites) the worker's simplex engine.
+  std::shared_ptr<const Basis> child_warm;
+  if (lp_solver.warm_enabled()) {
+    Basis saved = lp_solver.SaveBasis();
+    if (saved.valid()) {
+      child_warm = std::make_shared<const Basis>(std::move(saved));
+    }
+  }
+
   // Primal rounding dive; one at a time across the workers is plenty.
   if (want_dive && !diving_.exchange(true)) {
-    Dive(bounds, lp);
+    Dive(bounds, lp, lp_solver);
     diving_.store(false);
   }
 
@@ -677,6 +796,7 @@ void ParallelBranchAndBound::ProcessNode(
   down->upper = floor_value;
   down->bound = lp.objective;
   down->depth = node->depth + 1;
+  down->warm = child_warm;
 
   auto up = std::make_shared<PNode>();
   up->parent = node;
@@ -685,6 +805,7 @@ void ParallelBranchAndBound::ProcessNode(
   up->upper = bounds[branch_var].second;
   up->bound = lp.objective;
   up->depth = node->depth + 1;
+  up->warm = child_warm;
 
   // The LP-preferred child gets the smaller id: equal bounds pop in
   // plunge order, mirroring the serial search's exploration bias.
@@ -705,6 +826,9 @@ void ParallelBranchAndBound::ProcessNode(
 
 void ParallelBranchAndBound::Worker() {
   std::vector<std::pair<double, double>> bounds(model_.num_variables());
+  // Each worker owns a simplex engine; the constraint matrix build is paid
+  // once per worker, and any published Basis snapshot loads into it.
+  NodeLpSolver lp_solver(model_, options_);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (stop_) break;
@@ -748,7 +872,7 @@ void ParallelBranchAndBound::Worker() {
       EmitProgressLocked(lock, /*announce_incumbent=*/false);
     }
     lock.unlock();
-    ProcessNode(node, bounds);
+    ProcessNode(node, bounds, lp_solver);
     lock.lock();
     --active_;
     cv_.notify_all();
@@ -785,7 +909,8 @@ MipResult ParallelBranchAndBound::Run() {
 
   result.seconds = watch_.ElapsedSeconds();
   result.nodes = nodes_processed_;
-  result.lp_iterations = lp_iterations_;
+  result.lp_stats = lp_stats_;
+  result.lp_iterations = lp_stats_.total_iterations();
 
   const bool exhausted_tree = open_.empty();
   double open_min = kLpInfinity;

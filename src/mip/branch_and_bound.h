@@ -8,6 +8,7 @@
 
 #include "lp/model.h"
 #include "lp/simplex.h"
+#include "lp/solve_stats.h"
 
 namespace vpart {
 
@@ -33,6 +34,8 @@ struct MipProgress {
   /// variable assignment (already integer-rounded and feasibility-checked),
   /// copied so the callback owns it. Periodic ticks leave it empty.
   std::vector<double> incumbent_values;
+  /// Node-LP telemetry accumulated so far (warm/cold starts, pivot counts).
+  LpSolveStats lp_stats;
 };
 
 struct MipOptions {
@@ -46,6 +49,13 @@ struct MipOptions {
   long max_nodes = -1;
   double integrality_tol = 1e-6;
   SimplexOptions lp_options;
+  /// Carry each parent node's optimal basis into its children and
+  /// reoptimize with the dual simplex instead of re-running the two-phase
+  /// primal from a cold start (see lp/simplex.h). The fallback ladder —
+  /// dual reoptimize, cold primal, cold primal with tight refactorization —
+  /// makes this safe to leave on; disable only to measure the cold
+  /// baseline (bench_parallel --mip-core does).
+  bool use_warm_start = true;
   /// Optional warm-start incumbent (full variable assignment). Checked for
   /// feasibility; ignored if infeasible.
   const std::vector<double>* initial_solution = nullptr;
@@ -82,7 +92,12 @@ struct MipResult {
   double best_bound = -kLpInfinity;
   std::vector<double> values;
   long nodes = 0;
+  /// Total simplex pivots across all node LPs (primal + dual); equals
+  /// lp_stats.total_iterations().
   long lp_iterations = 0;
+  /// Per-solve telemetry: warm vs cold starts, pivot mix, factorizations,
+  /// LP wall clock (see lp/solve_stats.h).
+  LpSolveStats lp_stats;
   double seconds = 0.0;
   /// The tree was searched to exhaustion (no deadline/node/cancel stop and
   /// no LP failure dropped a node). Together with `pruned_by_external_bound`

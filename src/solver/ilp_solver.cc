@@ -46,6 +46,8 @@ IlpSolveResult SolveWithIlp(const CostCoefficients& cost_model,
   result.status = mip.status;
   result.seconds = mip.seconds;
   result.nodes = mip.nodes;
+  result.lp_iterations = mip.lp_iterations;
+  result.lp_stats = mip.lp_stats;
   result.best_bound = mip.best_bound;
   result.gap_percent = mip.GapPercent();
   result.search_exhausted = mip.search_exhausted;

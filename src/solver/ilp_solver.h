@@ -43,6 +43,10 @@ struct IlpSolveResult {
   double gap_percent = 100.0;
   double seconds = 0.0;
   long nodes = 0;
+  /// Total simplex pivots across all node LPs, and the warm/cold start
+  /// telemetry behind them (mirrors MipResult; see lp/solve_stats.h).
+  long lp_iterations = 0;
+  LpSolveStats lp_stats;
   std::optional<Partitioning> partitioning;
   /// Mirrors of MipResult's proof flags (see mip/branch_and_bound.h): the
   /// tree search finished its proof, and whether an externally shared

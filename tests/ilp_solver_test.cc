@@ -102,6 +102,10 @@ TEST(IlpSolverTest, SolvesTheObviousSplitOptimally) {
   EXPECT_DOUBLE_EQ(result.cost, 16);
   EXPECT_TRUE(
       ValidatePartitioning(instance, *result.partitioning).ok());
+  // The node-LP telemetry rides along from the branch & bound.
+  EXPECT_GT(result.lp_stats.lp_solves, 0);
+  EXPECT_GE(result.lp_stats.cold_starts, 1);
+  EXPECT_EQ(result.lp_iterations, result.lp_stats.total_iterations());
 }
 
 TEST(IlpSolverTest, DisjointModeEnforced) {

@@ -5,6 +5,9 @@
 #include <limits>
 #include <string>
 
+#include "api/request_json.h"
+#include "instances/tpcc.h"
+
 namespace vpart {
 namespace {
 
@@ -117,6 +120,44 @@ TEST(JsonTest, SetReplacesExistingKeyInPlace) {
   ASSERT_EQ(object.as_object().size(), 2u);
   EXPECT_EQ(object.as_object()[0].first, "a");
   EXPECT_DOUBLE_EQ(object.Find("a")->as_number(), 3.0);
+}
+
+TEST(JsonTest, AdviseResponseCarriesMipTelemetry) {
+  // Serialization-shape contract: the response document always exposes
+  // telemetry.mip with the warm/cold-start counters, and an ilp progress
+  // event carries its own "lp" object once LPs were solved.
+  AdviseResponse response;
+  response.solver_used = "ilp";
+  response.cost_model_used = "paper";
+  response.bnb_nodes = 7;
+  response.lp_stats.lp_solves = 9;
+  response.lp_stats.warm_starts = 6;
+  response.lp_stats.cold_starts = 3;
+  response.lp_stats.dual_iterations = 120;
+  response.lp_stats.primal_iterations = 480;
+  Instance instance = MakeTpccInstance();
+  response.result.partitioning =
+      SingleSiteBaseline(instance, /*num_sites=*/1);
+  JsonValue doc = AdviseResponseToJson(instance, response,
+                                       /*emit_partitioning=*/false, {});
+  const JsonValue* mip = doc.Find("telemetry")->Find("mip");
+  ASSERT_NE(mip, nullptr);
+  EXPECT_DOUBLE_EQ(mip->Find("bnb_nodes")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(mip->Find("warm_starts")->as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(mip->Find("cold_starts")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(mip->Find("total_iterations")->as_number(), 600.0);
+
+  ProgressEvent event;
+  event.phase = "ilp";
+  event.lp = response.lp_stats;
+  JsonValue event_doc = ProgressEventToJson(event);
+  ASSERT_NE(event_doc.Find("lp"), nullptr);
+  EXPECT_DOUBLE_EQ(event_doc.Find("lp")->Find("warm_starts")->as_number(),
+                   6.0);
+  // Stages that solve no LPs keep their events lean.
+  ProgressEvent sa_event;
+  sa_event.phase = "sa";
+  EXPECT_EQ(ProgressEventToJson(sa_event).Find("lp"), nullptr);
 }
 
 TEST(JsonTest, QuoteEscapesControlCharacters) {

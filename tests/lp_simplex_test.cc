@@ -142,6 +142,49 @@ TEST(SimplexTest, DuplicateTermsAreMerged) {
   EXPECT_NEAR(result.values[x], 2, kTol);
 }
 
+TEST(SimplexTest, AddConstraintCanonicalizesTerms) {
+  // Duplicates are merged at AddConstraint time (not lazily by the matrix
+  // build), out-of-order columns are sorted, zero coefficients dropped, and
+  // a duplicate pair that cancels disappears entirely — so every consumer
+  // (primal build, dual reoptimizer, CheckFeasible) sees one canonical row.
+  LpModel model;
+  int x = model.AddVariable(0, 10, -1, "x");
+  int y = model.AddVariable(0, 10, -1, "y");
+  int z = model.AddVariable(0, 10, 0, "z");
+  int row = model.AddConstraint(
+      ConstraintSense::kLessEqual, 4,
+      {{y, 2}, {x, 1}, {z, 0.0}, {x, 1}, {y, -2}});
+  const auto& terms = model.constraint(row).terms;
+  ASSERT_EQ(terms.size(), 1u);  // y cancelled, z dropped, x merged
+  EXPECT_EQ(terms[0].first, x);
+  EXPECT_NEAR(terms[0].second, 2.0, kTol);
+  LpResult result = SolveLp(model);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[x], 2, kTol);   // 2x <= 4
+  EXPECT_NEAR(result.values[y], 10, kTol);  // unconstrained after cancel
+}
+
+TEST(SimplexTest, TimeLimitReportsTimeLimitStatus) {
+  // An already-expired budget must be reported as kTimeLimit, not conflated
+  // with kIterationLimit.
+  LpModel model;
+  int x = model.AddVariable(0, kLpInfinity, -3, "x");
+  int y = model.AddVariable(0, kLpInfinity, -5, "y");
+  model.AddConstraint(ConstraintSense::kLessEqual, 4, {{x, 1}});
+  model.AddConstraint(ConstraintSense::kLessEqual, 12, {{y, 2}});
+  model.AddConstraint(ConstraintSense::kLessEqual, 18, {{x, 3}, {y, 2}});
+  SimplexOptions options;
+  options.time_limit_seconds = 1e-12;
+  LpResult result = SolveLp(model, options);
+  EXPECT_EQ(result.status, LpStatus::kTimeLimit);
+  EXPECT_STREQ(LpStatusName(result.status), "TIME_LIMIT");
+
+  SimplexOptions iteration_capped;
+  iteration_capped.max_iterations = 1;
+  LpResult capped = SolveLp(model, iteration_capped);
+  EXPECT_EQ(capped.status, LpStatus::kIterationLimit);
+}
+
 TEST(SimplexTest, BoundOverridesApply) {
   LpModel model;
   int x = model.AddVariable(0, 10, -1, "x");

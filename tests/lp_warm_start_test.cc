@@ -1,0 +1,313 @@
+// Warm-start equivalence suite for the reusable SimplexSolver: dual-simplex
+// reoptimization after bound changes must agree (status + objective) with a
+// cold two-phase primal on the same bounds — across textbook models,
+// randomized LPs, eq.-(7) models of random_instance workloads with B&B-style
+// binary fixings, and degenerate/stall cases exercising the Bland fallback.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "instances/random_instance.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "solver/formulation.h"
+#include "util/rng.h"
+
+namespace vpart {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+LpModel TextbookModel() {
+  // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 as minimization; opt -36.
+  LpModel model;
+  int x = model.AddVariable(0, kLpInfinity, -3, "x");
+  int y = model.AddVariable(0, kLpInfinity, -5, "y");
+  model.AddConstraint(ConstraintSense::kLessEqual, 4, {{x, 1}});
+  model.AddConstraint(ConstraintSense::kLessEqual, 12, {{y, 2}});
+  model.AddConstraint(ConstraintSense::kLessEqual, 18, {{x, 3}, {y, 2}});
+  return model;
+}
+
+TEST(WarmStartTest, ReoptimizeAfterBoundTighteningMatchesCold) {
+  LpModel model = TextbookModel();
+  SimplexSolver solver(model);
+  LpResult base = solver.Solve();
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  EXPECT_FALSE(base.warm_started);
+  Basis basis = solver.SaveBasis();
+  ASSERT_TRUE(basis.valid());
+
+  // B&B-style tightening: force x <= 1.
+  std::vector<std::pair<double, double>> bounds = {{0, 1}, {0, kLpInfinity}};
+  solver.SetBounds(&bounds);
+  ASSERT_TRUE(solver.LoadBasis(basis));
+  LpResult warm = solver.Reoptimize();
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GT(warm.dual_iterations, 0);
+
+  LpResult cold = SolveLp(model, {}, &bounds);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol);
+  // x=1, y=6 -> -33.
+  EXPECT_NEAR(warm.objective, -33, kTol);
+}
+
+TEST(WarmStartTest, BasisSnapshotLoadsIntoAnotherSolver) {
+  LpModel model = TextbookModel();
+  SimplexSolver parent(model);
+  ASSERT_EQ(parent.Solve().status, LpStatus::kOptimal);
+  Basis basis = parent.SaveBasis();
+
+  // A sibling worker's engine over the same model accepts the snapshot.
+  SimplexSolver child(model);
+  std::vector<std::pair<double, double>> bounds = {{0, 2}, {0, 5}};
+  child.SetBounds(&bounds);
+  ASSERT_TRUE(child.LoadBasis(basis));
+  LpResult warm = child.Reoptimize();
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  LpResult cold = SolveLp(model, {}, &bounds);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol);
+}
+
+TEST(WarmStartTest, ReoptimizeProvesInfeasibility) {
+  // x + y >= 2 with both variables squeezed to [0, 0.5] is infeasible.
+  LpModel model;
+  int x = model.AddVariable(0, 10, 1, "x");
+  int y = model.AddVariable(0, 10, 1, "y");
+  model.AddConstraint(ConstraintSense::kGreaterEqual, 2, {{x, 1}, {y, 1}});
+  SimplexSolver solver(model);
+  ASSERT_EQ(solver.Solve().status, LpStatus::kOptimal);
+  Basis basis = solver.SaveBasis();
+
+  std::vector<std::pair<double, double>> bounds = {{0, 0.5}, {0, 0.5}};
+  solver.SetBounds(&bounds);
+  ASSERT_TRUE(solver.LoadBasis(basis));
+  LpResult warm = solver.Reoptimize();
+  EXPECT_EQ(warm.status, LpStatus::kInfeasible);
+  LpResult cold = SolveLp(model, {}, &bounds);
+  EXPECT_EQ(cold.status, LpStatus::kInfeasible);
+}
+
+TEST(WarmStartTest, MismatchedBasisIsRejected) {
+  LpModel model = TextbookModel();
+  SimplexSolver solver(model);
+  ASSERT_EQ(solver.Solve().status, LpStatus::kOptimal);
+
+  LpModel other;
+  other.AddVariable(0, 1, 1, "z");
+  other.AddConstraint(ConstraintSense::kLessEqual, 1, {{0, 1}});
+  SimplexSolver other_solver(other);
+  ASSERT_EQ(other_solver.Solve().status, LpStatus::kOptimal);
+
+  EXPECT_FALSE(solver.LoadBasis(other_solver.SaveBasis()));
+  EXPECT_FALSE(other_solver.LoadBasis(Basis()));  // default: invalid
+}
+
+TEST(WarmStartTest, ReoptimizeWithoutBasisFailsGracefully) {
+  LpModel model = TextbookModel();
+  SimplexSolver solver(model);
+  LpResult result = solver.Reoptimize();
+  EXPECT_EQ(result.status, LpStatus::kNumericalFailure);
+}
+
+/// Shared property check: warm-reoptimize must agree with a cold solve on
+/// the same bounds. Returns true when the warm path answered (didn't fall
+/// back), so callers can assert the fallback stays rare.
+bool CheckWarmAgainstCold(const LpModel& model, const Basis& basis,
+                          const std::vector<std::pair<double, double>>& bounds,
+                          const SimplexOptions& options,
+                          const std::string& where) {
+  SimplexSolver solver(model, options);
+  solver.SetBounds(&bounds);
+  EXPECT_TRUE(solver.LoadBasis(basis)) << where;
+  LpResult warm = solver.Reoptimize();
+  if (warm.status == LpStatus::kNumericalFailure) return false;  // ladder
+  LpResult cold = SolveLp(model, options, &bounds);
+  EXPECT_EQ(warm.status, cold.status) << where;
+  if (warm.status == LpStatus::kOptimal &&
+      cold.status == LpStatus::kOptimal) {
+    const double scale = 1.0 + std::abs(cold.objective);
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-5 * scale) << where;
+  }
+  return true;
+}
+
+// Randomized LPs (the lp_simplex_test family) under random bound
+// tightenings: dual-reoptimize-after-change == cold primal, status and
+// objective, every time; the cold fallback must stay the exception.
+TEST(WarmStartTest, RandomLpsAgreeAfterRandomTightenings) {
+  Rng rng(2026);
+  int warm_answers = 0;
+  int attempts = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    LpModel model;
+    const int n = 3 + static_cast<int>(rng.NextBounded(6));
+    const int m = 2 + static_cast<int>(rng.NextBounded(5));
+    for (int j = 0; j < n; ++j) {
+      model.AddVariable(0, 1 + rng.NextDouble() * 4,
+                        rng.NextDouble() * 4 - 2);
+    }
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBool(0.6)) {
+          terms.emplace_back(j, rng.NextDouble() * 2 - 0.5);
+        }
+      }
+      if (terms.empty()) terms.emplace_back(0, 1.0);
+      model.AddConstraint(ConstraintSense::kLessEqual,
+                          rng.NextDouble() * 5, std::move(terms));
+    }
+    SimplexSolver solver(model);
+    LpResult base = solver.Solve();
+    ASSERT_EQ(base.status, LpStatus::kOptimal) << "trial " << trial;
+    Basis basis = solver.SaveBasis();
+    if (!basis.valid()) continue;  // degenerate artificial leftover: rare
+
+    for (int change = 0; change < 5; ++change) {
+      std::vector<std::pair<double, double>> bounds;
+      for (int j = 0; j < n; ++j) {
+        bounds.emplace_back(model.variable(j).lower,
+                            model.variable(j).upper);
+      }
+      // Tighten 1-2 variables: raise a lower bound, cut an upper bound, or
+      // fix outright — the moves a branch & bound makes.
+      const int tweaks = 1 + static_cast<int>(rng.NextBounded(2));
+      for (int k = 0; k < tweaks; ++k) {
+        const int j = static_cast<int>(rng.NextBounded(n));
+        const double span = bounds[j].second - bounds[j].first;
+        switch (rng.NextBounded(3)) {
+          case 0:
+            bounds[j].second = bounds[j].first + span * rng.NextDouble();
+            break;
+          case 1:
+            bounds[j].first = bounds[j].first + span * rng.NextDouble();
+            break;
+          default: {
+            const double fix =
+                bounds[j].first + span * rng.NextDouble();
+            bounds[j] = {fix, fix};
+            break;
+          }
+        }
+      }
+      ++attempts;
+      if (CheckWarmAgainstCold(model, basis, bounds, {},
+                               "trial " + std::to_string(trial))) {
+        ++warm_answers;
+      }
+    }
+  }
+  // The warm path must answer the overwhelming majority of reoptimizations
+  // (the cold fallback exists for numerical corner cases, not as the norm).
+  EXPECT_GT(attempts, 100);
+  EXPECT_GE(warm_answers * 10, attempts * 9);
+}
+
+// The production shape: eq.-(7) models of random_instance workloads, with
+// the exact bound changes branch & bound performs (binary fixings).
+TEST(WarmStartTest, RandomInstanceFormulationsAgreeAfterBinaryFixings) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomInstanceParams params;
+    params.num_transactions = 6 + static_cast<int>(rng.NextBounded(4));
+    params.num_tables = 3;
+    params.max_attributes_per_table = 6;
+    params.seed = 100 + trial;
+    params.name = "warmstart";
+    Instance instance = MakeRandomInstance(params);
+    CostModel cost_model(&instance, {.p = 8, .lambda = 0.1});
+    FormulationOptions options;
+    options.num_sites = 2;
+    IlpFormulation f = BuildIlpFormulation(cost_model, options);
+
+    SimplexSolver solver(f.model);
+    LpResult base = solver.Solve();
+    ASSERT_EQ(base.status, LpStatus::kOptimal) << "trial " << trial;
+    Basis basis = solver.SaveBasis();
+    ASSERT_TRUE(basis.valid()) << "trial " << trial;
+
+    std::vector<int> binaries;
+    for (int j = 0; j < f.model.num_variables(); ++j) {
+      if (f.model.variable(j).is_integer) binaries.push_back(j);
+    }
+    for (int change = 0; change < 8; ++change) {
+      std::vector<std::pair<double, double>> bounds;
+      for (int j = 0; j < f.model.num_variables(); ++j) {
+        bounds.emplace_back(f.model.variable(j).lower,
+                            f.model.variable(j).upper);
+      }
+      const int fixes = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int k = 0; k < fixes; ++k) {
+        const int j = binaries[rng.NextBounded(binaries.size())];
+        const double v = rng.NextBool(0.5) ? 1.0 : 0.0;
+        bounds[j] = {v, v};
+      }
+      CheckWarmAgainstCold(f.model, basis, bounds, {},
+                           "trial " + std::to_string(trial));
+    }
+  }
+}
+
+// Degenerate/stall coverage: duplicated rows through one vertex force
+// zero-progress dual pivots; with stall_threshold = 0 the very first
+// non-improving pivot flips the dual onto Bland's rule, which must still
+// land on the cold answer.
+TEST(WarmStartTest, DegenerateReoptimizationSurvivesBlandFallback) {
+  LpModel model;
+  int x = model.AddVariable(0, 10, -1, "x");
+  int y = model.AddVariable(0, 10, -1, "y");
+  // One binding row, repeated: a maximally degenerate optimal vertex.
+  for (int k = 0; k < 6; ++k) {
+    model.AddConstraint(ConstraintSense::kLessEqual, 2, {{x, 1}, {y, 1}});
+  }
+  model.AddConstraint(ConstraintSense::kLessEqual, 8,
+                      {{x, 4}, {y, 1}});  // redundant at the optimum
+
+  for (long stall_threshold : {0L, 2000L}) {
+    SimplexOptions options;
+    options.stall_threshold = stall_threshold;
+    SimplexSolver solver(model, options);
+    LpResult base = solver.Solve();
+    ASSERT_EQ(base.status, LpStatus::kOptimal);
+    EXPECT_NEAR(base.objective, -2, kTol);
+    Basis basis = solver.SaveBasis();
+    ASSERT_TRUE(basis.valid());
+
+    Rng rng(11 + stall_threshold);
+    for (int change = 0; change < 12; ++change) {
+      std::vector<std::pair<double, double>> bounds = {{0, 10}, {0, 10}};
+      const int j = static_cast<int>(rng.NextBounded(2));
+      const double fix = rng.NextBounded(3) * 0.5;  // 0, 0.5, or 1
+      bounds[j] = {fix, fix};
+      CheckWarmAgainstCold(model, basis, bounds, options,
+                           stall_threshold == 0 ? "bland" : "dantzig");
+    }
+  }
+}
+
+TEST(WarmStartTest, TelemetryDistinguishesWarmFromCold) {
+  LpModel model = TextbookModel();
+  SimplexSolver solver(model);
+  LpResult cold = solver.Solve();
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_EQ(cold.dual_iterations, 0);
+  EXPECT_GT(cold.iterations, 0);
+
+  Basis basis = solver.SaveBasis();
+  std::vector<std::pair<double, double>> bounds = {{0, 1}, {0, 2}};
+  solver.SetBounds(&bounds);
+  ASSERT_TRUE(solver.LoadBasis(basis));
+  LpResult warm = solver.Reoptimize();
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, warm.dual_iterations);
+}
+
+}  // namespace
+}  // namespace vpart

@@ -185,6 +185,73 @@ TEST(MipTest, GapToleranceStopsEarly) {
   EXPECT_TRUE(result.has_incumbent());
 }
 
+TEST(MipTest, WarmStartTelemetryIsPopulated) {
+  LpModel model;
+  int x0 = model.AddBinaryVariable(-10);
+  int x1 = model.AddBinaryVariable(-13);
+  int x2 = model.AddBinaryVariable(-7);
+  int x3 = model.AddBinaryVariable(-8);
+  model.AddConstraint(ConstraintSense::kLessEqual, 7,
+                      {{x0, 3}, {x1, 4}, {x2, 2}, {x3, 3}});
+  MipResult result = SolveMip(model, Exact());
+  ASSERT_EQ(result.status, MipStatus::kOptimal);
+  // Every node LP is accounted for, the root is cold, children reoptimize
+  // off the parent basis, and lp_iterations mirrors the stats totals.
+  EXPECT_GT(result.lp_stats.lp_solves, 0);
+  EXPECT_GE(result.lp_stats.cold_starts, 1);
+  EXPECT_GT(result.lp_stats.warm_starts, 0);
+  EXPECT_EQ(result.lp_iterations, result.lp_stats.total_iterations());
+  EXPECT_GT(result.lp_stats.lp_seconds, 0.0);
+}
+
+TEST(MipTest, ColdModeDisablesWarmStarts) {
+  LpModel model;
+  int x0 = model.AddBinaryVariable(-10);
+  int x1 = model.AddBinaryVariable(-13);
+  model.AddConstraint(ConstraintSense::kLessEqual, 4, {{x0, 3}, {x1, 4}});
+  MipOptions options = Exact();
+  options.use_warm_start = false;
+  MipResult result = SolveMip(model, options);
+  ASSERT_EQ(result.status, MipStatus::kOptimal);
+  EXPECT_EQ(result.lp_stats.warm_starts, 0);
+  EXPECT_EQ(result.lp_stats.dual_iterations, 0);
+  EXPECT_EQ(result.lp_stats.cold_starts, result.lp_stats.lp_solves);
+}
+
+// Warm-started and cold searches must prove the same optimum (the trees may
+// differ: dual reoptimization can land on a different optimal vertex of a
+// degenerate relaxation, changing the branching order but never the value).
+TEST(MipTest, WarmAndColdSearchesAgreeOnRandomInstances) {
+  Rng rng(271828);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextBounded(5));
+    LpModel model;
+    for (int j = 0; j < n; ++j) {
+      model.AddBinaryVariable(std::round((rng.NextDouble() * 20 - 10) * 4) /
+                              4);
+    }
+    const int m = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) {
+        terms.emplace_back(j, std::round(rng.NextDouble() * 5 * 2) / 2);
+      }
+      model.AddConstraint(ConstraintSense::kLessEqual,
+                          std::round(rng.NextDouble() * n * 2.5 * 2) / 2,
+                          std::move(terms));
+    }
+    MipOptions warm_options = Exact();
+    MipOptions cold_options = Exact();
+    cold_options.use_warm_start = false;
+    MipResult warm = SolveMip(model, warm_options);
+    MipResult cold = SolveMip(model, cold_options);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (warm.has_incumbent()) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
 // Randomized: B&B equals brute force on small random binary programs.
 TEST(MipTest, MatchesBruteForceOnRandomInstances) {
   Rng rng(99);

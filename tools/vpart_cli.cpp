@@ -63,7 +63,14 @@ void PrintHelp() {
       "                        \"disk_page\", per-backend option blocks}\n"
       "  time_limit_seconds    whole-request wall clock\n"
       "  batch                 true = one solve per table (whole schema)\n"
-      "  emit_events           true = include the progress-event stream\n",
+      "  emit_events           true = include the progress-event stream\n"
+      "\n"
+      "response telemetry: every document carries telemetry.mip — the\n"
+      "branch & bound's node count and node-LP solve statistics\n"
+      "(warm_starts vs cold_starts, dual/primal/phase1 iterations,\n"
+      "factorizations, lp_seconds; all zero for pure-heuristic solves).\n"
+      "With emit_events, ilp progress events carry the same counters\n"
+      "under \"lp\" as they accumulate.\n",
       JoinStrings(SolverRegistry::Global().Names(), ", ").c_str(),
       JoinStrings(CostModelRegistry::Global().Names(), ", ").c_str());
 }
