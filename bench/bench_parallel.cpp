@@ -34,23 +34,36 @@
 // The --mip-core section solves the same eq.-(7) branch & bound twice —
 // MipOptions::use_warm_start off (every node a cold two-phase primal) and
 // on (dual reoptimization from the parent basis) — and reports the node
-// and simplex-iteration counts of both. Contract: identical optimal
-// objectives and >= 2x fewer total simplex iterations with warm starts
-// (tracked in BENCH_mip.json). `--mip-core --quick` runs the smallest
-// scenario and exits non-zero when the objectives diverge, warm starts
-// stop engaging, or the iteration reduction falls under 1.5x — the ctest /
-// CI smoke gate against warm-start regressions.
+// and simplex-iteration counts of both, plus the factorized-core counters
+// (Forrest–Tomlin updates, bound flips, refactorization triggers).
+// Contract: identical optimal objectives and >= 2x fewer total simplex
+// iterations with warm starts (tracked in BENCH_mip.json). `--mip-core
+// --quick` runs the smallest scenario and exits non-zero when the
+// objectives diverge, warm starts stop engaging, or the iteration
+// reduction falls under 1.5x — the ctest / CI smoke gate against
+// warm-start regressions.
+//
+// Two more --mip-core flags turn the one-shot gate into a trend check:
+//   --baseline FILE   compare each section's warm pivot/factorization
+//                     counts against the checked-in BENCH_mip.json and
+//                     fail on a >15% regression;
+//   --history FILE    append one JSON line of per-section warm aggregates
+//                     (the telemetry.mip counters) per run, so CI keeps a
+//                     per-run history instead of a single snapshot.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/advise.h"
+#include "api/json.h"
 #include "api/session.h"
 #include "bench_util.h"
 #include "costmodel_baseline.h"
@@ -357,12 +370,19 @@ MipResult RunMipCore(const LpModel& model, bool warm_start, int threads,
   return SolveMip(model, options);
 }
 
+/// One --mip-core section's warm-run aggregates, kept for the baseline
+/// trend check and the per-run history line.
+struct MipCoreSection {
+  std::string key;
+  MipResult warm;
+};
+
 /// Solves `instance`'s eq.-(7) model cold and warm, prints one JSON
 /// section, and returns whether the warm-start contract held (identical
 /// objectives, warm starts engaged, iteration reduction above the gate).
 bool EmitMipCore(const char* key, const Instance& instance, int num_sites,
                  int threads, double time_limit, double min_reduction,
-                 bool& first_section) {
+                 bool& first_section, std::vector<MipCoreSection>& sections) {
   CostModel cost_model(&instance, CostParams{.p = 8, .lambda = 0.1});
   FormulationOptions formulation_options;
   formulation_options.num_sites = num_sites;
@@ -423,13 +443,19 @@ bool EmitMipCore(const char* key, const Instance& instance, int num_sites,
               "\"warm_starts\": %ld, \"cold_starts\": %ld, "
               "\"warm_start_failures\": %ld, \"dual_iterations\": %ld, "
               "\"primal_iterations\": %ld, \"factorizations\": %ld, "
+              "\"ft_updates\": %ld, \"bound_flips\": %ld, "
+              "\"se_resets\": %ld, \"refactor_updates\": %ld, "
+              "\"refactor_fill\": %ld, \"refactor_stability\": %ld, "
               "\"seconds\": %.3f},\n",
               MipStatusName(warm.status), warm.objective, warm.nodes,
               warm.lp_stats.lp_solves, warm.lp_iterations,
               warm.lp_stats.warm_starts, warm.lp_stats.cold_starts,
               warm.lp_stats.warm_start_failures,
               warm.lp_stats.dual_iterations, warm.lp_stats.primal_iterations,
-              warm.lp_stats.factorizations, warm.seconds);
+              warm.lp_stats.factorizations, warm.lp_stats.ft_updates,
+              warm.lp_stats.bound_flips, warm.lp_stats.se_resets,
+              warm.lp_stats.refactor_updates, warm.lp_stats.refactor_fill,
+              warm.lp_stats.refactor_stability, warm.seconds);
   std::printf("    \"iteration_reduction_x\": %.2f,\n", reduction);
   std::printf("    \"speedup_x\": %.2f,\n",
               warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0);
@@ -443,13 +469,106 @@ bool EmitMipCore(const char* key, const Instance& instance, int num_sites,
                  objective_delta, warm.lp_stats.warm_starts, reduction,
                  min_reduction);
   }
+  sections.push_back({key, warm});
   return ok;
 }
 
-int MipCoreMain(bool quick) {
+/// Appends one JSON line of per-run warm aggregates (the telemetry.mip
+/// counters per section) to `path` — the persistent trend history behind
+/// the one-shot BENCH_mip.json snapshot.
+void AppendMipCoreHistory(const char* path, bool quick,
+                          const std::vector<MipCoreSection>& sections) {
+  JsonValue line = JsonValue::MakeObject();
+  line.Set("bench", "mip_core");
+  line.Set("quick", quick);
+  JsonValue body = JsonValue::MakeObject();
+  for (const MipCoreSection& section : sections) {
+    const LpSolveStats& stats = section.warm.lp_stats;
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("status", MipStatusName(section.warm.status));
+    entry.Set("nodes", section.warm.nodes);
+    entry.Set("lp_solves", stats.lp_solves);
+    entry.Set("iterations", section.warm.lp_iterations);
+    entry.Set("dual_iterations", stats.dual_iterations);
+    entry.Set("factorizations", stats.factorizations);
+    entry.Set("ft_updates", stats.ft_updates);
+    entry.Set("bound_flips", stats.bound_flips);
+    entry.Set("se_resets", stats.se_resets);
+    entry.Set("refactor_updates", stats.refactor_updates);
+    entry.Set("refactor_fill", stats.refactor_fill);
+    entry.Set("refactor_stability", stats.refactor_stability);
+    entry.Set("lp_seconds", stats.lp_seconds);
+    entry.Set("seconds", section.warm.seconds);
+    body.Set(section.key, std::move(entry));
+  }
+  line.Set("sections", std::move(body));
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "mip-core: cannot append history to %s\n", path);
+    return;
+  }
+  out << line.Serialize() << "\n";
+}
+
+/// Trend gate: compares each section's warm pivot and factorization counts
+/// against the checked-in baseline (BENCH_mip.json) and reports a >15%
+/// regression as a failure. Sections absent from the baseline (new
+/// scenarios) are skipped with a note; a missing/bad baseline file fails
+/// loudly rather than silently gating nothing.
+bool CheckMipCoreBaseline(const char* path,
+                          const std::vector<MipCoreSection>& sections) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mip-core: cannot read baseline %s\n", path);
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "mip-core: bad baseline %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  constexpr double kRegressionFactor = 1.15;  // >15% worse = regression
+  constexpr long kAbsoluteSlack = 64;         // ignore noise on tiny counts
+  bool ok = true;
+  for (const MipCoreSection& section : sections) {
+    const JsonValue* base = parsed->Find(section.key);
+    const JsonValue* warm = base != nullptr ? base->Find("warm") : nullptr;
+    if (warm == nullptr) {
+      std::fprintf(stderr,
+                   "mip-core: section %s not in baseline %s (new scenario?); "
+                   "skipping trend check\n",
+                   section.key.c_str(), path);
+      continue;
+    }
+    auto gate = [&](const char* field, long current) {
+      const JsonValue* value = warm->Find(field);
+      if (value == nullptr || !value->is_number()) return;  // older baseline
+      const long baseline = static_cast<long>(value->as_number());
+      const long limit = static_cast<long>(baseline * kRegressionFactor) +
+                         kAbsoluteSlack;
+      if (current > limit) {
+        std::fprintf(stderr,
+                     "mip-core %s: %s regressed %ld -> %ld (>15%% over the "
+                     "checked-in baseline %s)\n",
+                     section.key.c_str(), field, baseline, current, path);
+        ok = false;
+      }
+    };
+    gate("iterations", section.warm.lp_iterations);
+    gate("factorizations", section.warm.lp_stats.factorizations);
+  }
+  return ok;
+}
+
+int MipCoreMain(bool quick, const char* baseline_path,
+                const char* history_path) {
   const double time_limit = QpTimeLimit(quick ? 20.0 : 60.0);
   bool first_section = true;
   bool ok = true;
+  std::vector<MipCoreSection> sections;
   std::printf("{\n");
   std::printf("  \"bench\": \"mip_core\",\n");
   std::printf("  \"hardware_concurrency\": %u,\n",
@@ -460,22 +579,30 @@ int MipCoreMain(bool quick) {
   // The CI gate sits at 1.5x (vs the 2x bench target) so tree-shape
   // variance on a newly degenerate model trips the alarm without flaking.
   ok &= EmitMipCore("tpcc_sites2", tpcc, /*num_sites=*/2, /*threads=*/1,
-                    time_limit, /*min_reduction=*/1.5, first_section);
+                    time_limit, /*min_reduction=*/1.5, first_section,
+                    sections);
   if (!quick) {
     ok &= EmitMipCore("tpcc_sites3", tpcc, /*num_sites=*/3, /*threads=*/1,
-                      time_limit, /*min_reduction=*/1.5, first_section);
+                      time_limit, /*min_reduction=*/1.5, first_section,
+                      sections);
     ok &= EmitMipCore("tpcc_sites2_bnb4", tpcc, /*num_sites=*/2,
                       /*threads=*/4, time_limit, /*min_reduction=*/1.0,
-                      first_section);
+                      first_section, sections);
     auto params = ParseNamedInstanceParams("rndAt8x15");
     if (params.ok()) {
       Instance random_instance = MakeRandomInstance(*params);
       ok &= EmitMipCore("rndAt8x15_sites2", random_instance, /*num_sites=*/2,
                         /*threads=*/1, time_limit, /*min_reduction=*/1.5,
-                        first_section);
+                        first_section, sections);
     }
   }
   std::printf("\n}\n");
+  if (history_path != nullptr) {
+    AppendMipCoreHistory(history_path, quick, sections);
+  }
+  if (baseline_path != nullptr) {
+    ok &= CheckMipCoreBaseline(baseline_path, sections);
+  }
   return ok ? 0 : 1;
 }
 
@@ -549,8 +676,25 @@ int main(int argc, char** argv) {
   const bool cost_model_only =
       argc > 1 && std::strcmp(argv[1], "--cost-model") == 0;
   if (argc > 1 && std::strcmp(argv[1], "--mip-core") == 0) {
-    const bool quick = argc > 2 && std::strcmp(argv[2], "--quick") == 0;
-    return vpart::bench::MipCoreMain(quick);
+    bool quick = false;
+    const char* baseline = nullptr;
+    const char* history = nullptr;
+    for (int arg = 2; arg < argc; ++arg) {
+      if (std::strcmp(argv[arg], "--quick") == 0) {
+        quick = true;
+      } else if (std::strcmp(argv[arg], "--baseline") == 0 &&
+                 arg + 1 < argc) {
+        baseline = argv[++arg];
+      } else if (std::strcmp(argv[arg], "--history") == 0 && arg + 1 < argc) {
+        history = argv[++arg];
+      } else {
+        std::fprintf(stderr,
+                     "usage: bench_parallel --mip-core [--quick] "
+                     "[--baseline FILE] [--history FILE]\n");
+        return 2;
+      }
+    }
+    return vpart::bench::MipCoreMain(quick, baseline, history);
   }
   return vpart::bench::Main(api_only, cost_model_only);
 }

@@ -351,6 +351,12 @@ JsonValue LpSolveStatsToJson(const LpSolveStats& stats) {
   out.Set("dual_iterations", stats.dual_iterations);
   out.Set("total_iterations", stats.total_iterations());
   out.Set("factorizations", stats.factorizations);
+  out.Set("ft_updates", stats.ft_updates);
+  out.Set("bound_flips", stats.bound_flips);
+  out.Set("se_resets", stats.se_resets);
+  out.Set("refactor_updates", stats.refactor_updates);
+  out.Set("refactor_fill", stats.refactor_fill);
+  out.Set("refactor_stability", stats.refactor_stability);
   out.Set("lp_seconds", stats.lp_seconds);
   return out;
 }

@@ -1,0 +1,473 @@
+#include "lp/factorization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace vpart {
+
+namespace {
+
+/// Entries whose magnitude falls below this after an elimination update are
+/// treated as exact cancellations and dropped from the sparse structures.
+constexpr double kDropTol = 1e-14;
+
+}  // namespace
+
+void LuFactorization::Clear() {
+  valid_ = false;
+  updates_ = 0;
+  etas_.clear();
+  order_.clear();
+  pivot_row_.assign(num_rows_, -1);
+  pos_of_.assign(num_rows_, -1);
+  diag_.assign(num_rows_, 0.0);
+  ucols_.assign(num_rows_, {});
+  urows_.assign(num_rows_, {});
+  workspace_.assign(num_rows_, 0.0);
+  solve_.assign(num_rows_, 0.0);
+  rowwork_.assign(num_rows_, 0.0);
+}
+
+long LuFactorization::factor_nonzeros() const {
+  long nnz = num_rows_;  // diagonals
+  for (const EtaOp& eta : etas_) {
+    nnz += static_cast<long>(eta.entries.size()) + 1;
+  }
+  for (const auto& col : ucols_) nnz += static_cast<long>(col.size());
+  return nnz;
+}
+
+bool LuFactorization::Factorize(const std::vector<int>& col_start,
+                                const std::vector<int>& row_index,
+                                const std::vector<double>& value,
+                                const std::vector<int>& basis, int num_rows) {
+  num_rows_ = num_rows;
+  Clear();
+  const int m = num_rows;
+  if (static_cast<int>(basis.size()) != m) return false;
+
+  // Active submatrix, column-wise over basis positions. Entries only ever
+  // reference active (unpivoted) rows: a pivoted row's entries are removed
+  // from every affected column during its elimination step.
+  std::vector<std::vector<std::pair<int, double>>> acols(m);
+  std::vector<int> col_count(m, 0), row_count(m, 0);
+  // Superset of the positions whose column touches each row (append-only;
+  // entries are validated against acols on use).
+  std::vector<std::vector<int>> row_cols(m);
+  for (int k = 0; k < m; ++k) {
+    const int j = basis[k];
+    if (j < 0) return false;
+    for (int idx = col_start[j]; idx < col_start[j + 1]; ++idx) {
+      const double v = value[idx];
+      if (v == 0.0) continue;
+      const int i = row_index[idx];
+      acols[k].emplace_back(i, v);
+      row_cols[i].push_back(k);
+      ++row_count[i];
+    }
+    col_count[k] = static_cast<int>(acols[k].size());
+    if (col_count[k] == 0) return false;  // structurally singular
+  }
+
+  std::vector<uint8_t> pivoted_row(m, 0), pivoted_col(m, 0);
+  // Markowitz candidate buckets keyed by active column count. Entries can
+  // be stale (the count moved on); they are validated and refiled on scan.
+  std::vector<std::vector<int>> buckets(m + 1);
+  std::vector<int> filed_count(m, -1);
+  auto refile = [&](int k) {
+    if (pivoted_col[k]) return;
+    const int c = col_count[k];
+    if (c >= 0 && c <= m && filed_count[k] != c) {
+      buckets[c].push_back(k);
+      filed_count[k] = c;
+    }
+  };
+  for (int k = 0; k < m; ++k) refile(k);
+
+  // Presence map for the scatter/gather column updates.
+  std::vector<uint8_t> present(m, 0);
+  std::vector<int> touched;
+  touched.reserve(64);
+
+  for (int step = 0; step < m; ++step) {
+    // --- pivot selection: threshold partial pivoting within the sparsest
+    // candidate columns, best Markowitz score (r-1)(c-1) among them.
+    int best_row = -1, best_col = -1;
+    long best_score = -1;
+    double best_abs = 0.0;
+    int examined = 0;
+    for (int c = 1; c <= m && best_score != 0; ++c) {
+      auto& bucket = buckets[c];
+      for (size_t idx = bucket.size(); idx-- > 0;) {
+        const int k = bucket[idx];
+        if (pivoted_col[k] || col_count[k] != c) {
+          bucket[idx] = bucket.back();
+          bucket.pop_back();
+          refile(k);
+          continue;
+        }
+        double colmax = 0.0;
+        for (const auto& [i, v] : acols[k]) colmax = std::max(colmax, std::abs(v));
+        if (colmax < options_.pivot_tol) continue;  // revisit once updated
+        const double eligible = std::max(options_.pivot_tol,
+                                         options_.markowitz_threshold * colmax);
+        int krow = -1;
+        double kabs = 0.0;
+        long kscore = -1;
+        for (const auto& [i, v] : acols[k]) {
+          const double a = std::abs(v);
+          if (a + 1e-300 < eligible) continue;
+          const long score = static_cast<long>(row_count[i] - 1) * (c - 1);
+          if (kscore < 0 || score < kscore ||
+              (score == kscore && a > kabs)) {
+            kscore = score;
+            krow = i;
+            kabs = a;
+          }
+        }
+        if (krow < 0) continue;
+        if (best_score < 0 || kscore < best_score ||
+            (kscore == best_score && kabs > best_abs)) {
+          best_score = kscore;
+          best_row = krow;
+          best_col = k;
+          best_abs = kabs;
+        }
+        if (++examined >= options_.candidate_limit || best_score == 0) break;
+      }
+      if (best_col >= 0 &&
+          (examined >= options_.candidate_limit || best_score == 0)) {
+        break;
+      }
+    }
+    if (best_col < 0) {
+      // No bucket produced a candidate above pivot_tol: numerically
+      // singular basis.
+      Clear();
+      return false;
+    }
+
+    const int pr = best_row;
+    const int pk = best_col;
+    double piv = 0.0;
+    for (const auto& [i, v] : acols[pk]) {
+      if (i == pr) piv = v;
+    }
+    assert(piv != 0.0);
+
+    // L eta: the pivot column's other active entries.
+    EtaOp eta;
+    eta.kind = EtaOp::Kind::kColumn;
+    eta.row = pr;
+    eta.pivot = piv;
+    for (const auto& [i, v] : acols[pk]) {
+      if (i != pr) {
+        eta.entries.emplace_back(i, v);
+        --row_count[i];  // column pk leaves the active matrix
+      }
+    }
+
+    pivoted_row[pr] = 1;
+    pivoted_col[pk] = 1;
+    pivot_row_[pk] = pr;
+    pos_of_[pk] = step;
+    order_.push_back(pk);
+    diag_[pk] = 1.0;
+
+    // Eliminate row pr from every active column it touches, recording the
+    // U row (values divided by the pivot) as it freezes. present[] tags
+    // each touched row: 1 = existing member of the column, 2 = fill.
+    for (int k : row_cols[pr]) {
+      if (pivoted_col[k]) continue;
+      double v = 0.0;
+      bool found = false;
+      for (const auto& [i, val] : acols[k]) {
+        if (i == pr) {
+          v = val;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // stale membership
+      const double mult = v / piv;
+      ucols_[k].emplace_back(pr, mult);
+      urows_[pr].emplace_back(k, mult);
+
+      // Column update: drop row pr, subtract mult * pivot column.
+      touched.clear();
+      for (const auto& [i, val] : acols[k]) {
+        if (i == pr) continue;
+        workspace_[i] = val;
+        present[i] = 1;
+        touched.push_back(i);
+      }
+      for (const auto& [i, a] : eta.entries) {
+        if (!present[i]) {
+          present[i] = 2;  // fill candidate
+          touched.push_back(i);
+          workspace_[i] = 0.0;
+        }
+        workspace_[i] -= a * mult;
+      }
+      auto& col = acols[k];
+      col.clear();
+      for (int i : touched) {
+        const double w = workspace_[i];
+        if (std::abs(w) > kDropTol) {
+          col.emplace_back(i, w);
+          if (present[i] == 2) {  // realized fill
+            ++row_count[i];
+            row_cols[i].push_back(k);
+          }
+        } else if (present[i] == 1) {  // exact cancellation
+          --row_count[i];
+        }
+        workspace_[i] = 0.0;
+        present[i] = 0;
+      }
+      col_count[k] = static_cast<int>(col.size());
+      refile(k);
+    }
+
+    etas_.push_back(std::move(eta));
+  }
+
+  fresh_nonzeros_ = factor_nonzeros();
+  valid_ = true;
+  ++stats_.factorizations;
+  return true;
+}
+
+void LuFactorization::Ftran(std::vector<double>& w) const {
+  if (!valid_) return;
+  for (const EtaOp& eta : etas_) {
+    if (eta.kind == EtaOp::Kind::kColumn) {
+      const double wr = w[eta.row];
+      if (wr == 0.0) continue;
+      const double piv = wr / eta.pivot;
+      w[eta.row] = piv;
+      for (const auto& [i, v] : eta.entries) w[i] -= v * piv;
+    } else {
+      double dot = 0.0;
+      for (const auto& [i, v] : eta.entries) dot += v * w[i];
+      w[eta.row] -= dot;
+    }
+  }
+  // Back substitution on U (unit or explicit diagonals), reverse pivot
+  // order; the solution is indexed by basis position.
+  for (int t = num_rows_ - 1; t >= 0; --t) {
+    const int k = order_[t];
+    const int r = pivot_row_[k];
+    const double xk = w[r] / diag_[k];
+    solve_[k] = xk;
+    if (xk != 0.0) {
+      for (const auto& [i, v] : ucols_[k]) w[i] -= v * xk;
+    }
+  }
+  w = solve_;
+}
+
+void LuFactorization::Btran(std::vector<double>& v) const {
+  if (!valid_) return;
+  // Forward substitution on Uᵀ in pivot order; z lives in row space.
+  for (int t = 0; t < num_rows_; ++t) {
+    const int k = order_[t];
+    const int r = pivot_row_[k];
+    double acc = v[k];
+    for (const auto& [i, val] : ucols_[k]) acc -= val * solve_[i];
+    solve_[r] = acc / diag_[k];
+  }
+  // Transposed left factor, reverse order.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    if (it->kind == EtaOp::Kind::kColumn) {
+      double dot = 0.0;
+      for (const auto& [i, val] : it->entries) dot += val * solve_[i];
+      solve_[it->row] = (solve_[it->row] - dot) / it->pivot;
+    } else {
+      const double vr = solve_[it->row];
+      if (vr != 0.0) {
+        for (const auto& [i, val] : it->entries) solve_[i] -= val * vr;
+      }
+    }
+  }
+  v = solve_;
+}
+
+void LuFactorization::PartialFtran(const std::vector<int>& col_start,
+                                   const std::vector<int>& row_index,
+                                   const std::vector<double>& value, int j,
+                                   std::vector<int>& support) const {
+  support.clear();
+  for (int idx = col_start[j]; idx < col_start[j + 1]; ++idx) {
+    if (value[idx] == 0.0) continue;
+    if (workspace_[row_index[idx]] == 0.0) support.push_back(row_index[idx]);
+    workspace_[row_index[idx]] += value[idx];
+  }
+  for (const EtaOp& eta : etas_) {
+    if (eta.kind == EtaOp::Kind::kColumn) {
+      const double wr = workspace_[eta.row];
+      if (wr == 0.0) continue;
+      const double piv = wr / eta.pivot;
+      workspace_[eta.row] = piv;
+      for (const auto& [i, v] : eta.entries) {
+        if (workspace_[i] == 0.0 && v * piv != 0.0) support.push_back(i);
+        workspace_[i] -= v * piv;
+      }
+    } else {
+      double dot = 0.0;
+      for (const auto& [i, v] : eta.entries) dot += v * workspace_[i];
+      if (dot != 0.0 && workspace_[eta.row] == 0.0) {
+        support.push_back(eta.row);
+      }
+      workspace_[eta.row] -= dot;
+    }
+  }
+}
+
+void LuFactorization::RemoveRowEntry(int row, int pos) {
+  auto& entries = urows_[row];
+  for (size_t idx = 0; idx < entries.size(); ++idx) {
+    if (entries[idx].first == pos) {
+      entries[idx] = entries.back();
+      entries.pop_back();
+      return;
+    }
+  }
+}
+
+void LuFactorization::RemoveColEntry(int pos, int row) {
+  auto& entries = ucols_[pos];
+  for (size_t idx = 0; idx < entries.size(); ++idx) {
+    if (entries[idx].first == row) {
+      entries[idx] = entries.back();
+      entries.pop_back();
+      return;
+    }
+  }
+}
+
+bool LuFactorization::Update(const std::vector<int>& col_start,
+                             const std::vector<int>& row_index,
+                             const std::vector<double>& value, int entering,
+                             int pos) {
+  if (!valid_) return false;
+  const int t0 = pos_of_[pos];
+  const int r0 = pivot_row_[pos];
+
+  // Spike = L⁻¹ a_entering (partial FTRAN through the left factor only).
+  std::vector<int> support;
+  PartialFtran(col_start, row_index, value, entering, support);
+  double spike_max = 0.0;
+  for (int i : support) spike_max = std::max(spike_max, std::abs(workspace_[i]));
+
+  auto clear_spike = [&]() {
+    for (int i : support) workspace_[i] = 0.0;
+  };
+
+  // Remove the leaving column of U.
+  for (const auto& [i, v] : ucols_[pos]) {
+    (void)v;
+    RemoveRowEntry(i, pos);
+  }
+  ucols_[pos].clear();
+  diag_[pos] = 0.0;
+
+  // Detach row r0's off-diagonal entries (all at later pivot positions);
+  // they seed the Forrest–Tomlin row elimination.
+  std::vector<std::pair<int, double>> row_entries = std::move(urows_[r0]);
+  urows_[r0].clear();
+  for (const auto& [k, v] : row_entries) {
+    (void)v;
+    RemoveColEntry(k, r0);
+  }
+
+  // Eliminate row r0 against the later pivot rows, in pivot order; fill
+  // lands at still-later positions and is eliminated in turn. solve_ is
+  // the dense row workspace (position-indexed).
+  using Break = std::pair<int, int>;  // (order index, position)
+  std::priority_queue<Break, std::vector<Break>, std::greater<Break>> heap;
+  for (const auto& [k, v] : row_entries) {
+    rowwork_[k] = v;
+    heap.push({pos_of_[k], k});
+  }
+  double dval = workspace_[r0];  // spike's diagonal seed
+  std::vector<std::pair<int, double>> eta_entries;
+  while (!heap.empty()) {
+    const auto [t, k] = heap.top();
+    heap.pop();
+    (void)t;
+    const double val = rowwork_[k];
+    rowwork_[k] = 0.0;
+    if (std::abs(val) <= kDropTol) continue;
+    const int rj = pivot_row_[k];
+    const double mu = val / diag_[k];
+    eta_entries.emplace_back(rj, mu);
+    for (const auto& [k2, v2] : urows_[rj]) {
+      if (rowwork_[k2] == 0.0) heap.push({pos_of_[k2], k2});
+      rowwork_[k2] -= mu * v2;
+    }
+    // The row operation also folds the spike's rj entry into the diagonal.
+    dval -= mu * workspace_[rj];
+  }
+
+  // Stability gate: a vanishing new diagonal means the update cannot be
+  // trusted — reject and force a refactorization.
+  if (std::abs(dval) <
+      std::max(options_.pivot_tol, options_.stability_tol * spike_max)) {
+    clear_spike();
+    ++stats_.refactor_stability;
+    valid_ = false;
+    return false;
+  }
+
+  // Install the spike as column `pos`, diagonal dval at row r0. Entries
+  // are zeroed as they are consumed so a row that appears twice in
+  // `support` (cancelled and refilled during the partial FTRAN) cannot be
+  // installed twice.
+  diag_[pos] = dval;
+  for (int i : support) {
+    const double v = workspace_[i];
+    workspace_[i] = 0.0;
+    if (i == r0 || std::abs(v) <= kDropTol) continue;
+    ucols_[pos].emplace_back(i, v);
+    urows_[i].emplace_back(pos, v);
+  }
+
+  // Move `pos` to the end of the pivot order.
+  order_.erase(order_.begin() + t0);
+  order_.push_back(pos);
+  for (int t = t0; t < num_rows_; ++t) pos_of_[order_[t]] = t;
+
+  if (!eta_entries.empty()) {
+    EtaOp eta;
+    eta.kind = EtaOp::Kind::kRow;
+    eta.row = r0;
+    eta.entries = std::move(eta_entries);
+    etas_.push_back(std::move(eta));
+  }
+
+  ++updates_;
+  ++stats_.ft_updates;
+  return true;
+}
+
+bool LuFactorization::NeedsRefactorization() {
+  if (!valid_) return true;
+  if (updates_ >= options_.refactor_interval) {
+    ++stats_.refactor_updates;
+    return true;
+  }
+  if (updates_ > 0 &&
+      factor_nonzeros() >
+          static_cast<long>(options_.fill_ratio *
+                            static_cast<double>(fresh_nonzeros_)) +
+              num_rows_) {
+    ++stats_.refactor_fill;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vpart

@@ -130,7 +130,7 @@ void SimplexSolver::TruncateArtificials() {
 
 void SimplexSolver::ResetToCrashBasis() {
   TruncateArtificials();
-  etas_.clear();
+  factor_synced_ = false;  // the basis changes wholesale below
 
   // Nonbasic start: every structural at its finite bound (preferring lower),
   // logicals basic where feasible, artificials where not.
@@ -194,14 +194,6 @@ void SimplexSolver::ResetToCrashBasis() {
     const double residual = rhs_[row] - activity[row] - logical_value;
     xval_.push_back(residual / sign);  // positive by construction
     basis_[row] = j;
-    if (sign < 0) {
-      // The basis starts as a ±1 diagonal, not the identity; a trivial eta
-      // encodes the -1 so FTRAN/BTRAN see the true inverse.
-      Eta eta;
-      eta.row = row;
-      eta.pivot = sign;
-      etas_.push_back(std::move(eta));
-    }
   }
   col_start_.push_back(static_cast<int>(row_index_.size()));
 
@@ -212,9 +204,19 @@ void SimplexSolver::ResetCallCounters() {
   iterations_ = 0;
   phase1_iterations_ = 0;
   factorizations_ = 0;
+  bound_flips_ = 0;
   stall_count_ = 0;
   use_bland_ = false;
   deadline_ = Deadline(options_.time_limit_seconds);
+  factor_stats_base_ = factor_.stats();
+  pricing_resets_base_ = devex_.resets() + dse_.resets();
+  // Propagate the solver tolerances into the factorization.
+  LuFactorization::Options factor_options = factor_.options();
+  factor_options.pivot_tol = options_.pivot_tol;
+  factor_options.markowitz_threshold = options_.markowitz_threshold;
+  factor_options.refactor_interval = options_.refactor_interval;
+  factor_options.fill_ratio = options_.fill_ratio;
+  factor_.set_options(factor_options);
 }
 
 long SimplexSolver::MaxIterations() const {
@@ -230,76 +232,33 @@ void SimplexSolver::ScatterColumn(int j, std::vector<double>& out) const {
   }
 }
 
-void SimplexSolver::Ftran(std::vector<double>& w) const {
-  for (const Eta& eta : etas_) {
-    const double wr = w[eta.row];
-    if (wr == 0.0) continue;
-    const double piv = wr / eta.pivot;
-    w[eta.row] = piv;
-    for (const auto& [i, v] : eta.other) w[i] -= v * piv;
-  }
-}
+void SimplexSolver::Ftran(std::vector<double>& w) const { factor_.Ftran(w); }
 
-void SimplexSolver::Btran(std::vector<double>& v) const {
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double dot = 0.0;
-    for (const auto& [i, val] : it->other) dot += val * v[i];
-    v[it->row] = (v[it->row] - dot) / it->pivot;
-  }
-}
+void SimplexSolver::Btran(std::vector<double>& v) const { factor_.Btran(v); }
 
 bool SimplexSolver::Refactorize() {
+  if (!factor_.Factorize(col_start_, row_index_, value_, basis_, num_rows_)) {
+    factor_synced_ = false;
+    return false;
+  }
   ++factorizations_;
-  std::vector<int> old_basis = basis_;
-  etas_.clear();
-  std::vector<bool> pivoted(num_rows_, false);
-  std::vector<int> new_basis(num_rows_, -1);
-
-  // Order: unit columns (logicals/artificials) first, then structural by
-  // sparsity — a cheap triangularity heuristic.
-  std::vector<int> order;
-  order.reserve(old_basis.size());
-  for (int j : old_basis) {
-    if (j >= num_struct_) order.push_back(j);
-  }
-  std::vector<int> structural;
-  for (int j : old_basis) {
-    if (j < num_struct_) structural.push_back(j);
-  }
-  std::sort(structural.begin(), structural.end(), [&](int a, int b) {
-    return (col_start_[a + 1] - col_start_[a]) <
-           (col_start_[b + 1] - col_start_[b]);
-  });
-  order.insert(order.end(), structural.begin(), structural.end());
-
-  std::vector<double> w(num_rows_);
-  for (int j : order) {
-    ScatterColumn(j, w);
-    Ftran(w);
-    int best_row = -1;
-    double best_abs = options_.pivot_tol;
-    for (int i = 0; i < num_rows_; ++i) {
-      if (pivoted[i]) continue;
-      const double a = std::abs(w[i]);
-      if (a > best_abs) {
-        best_abs = a;
-        best_row = i;
-      }
-    }
-    if (best_row < 0) return false;  // singular basis
-    Eta eta;
-    eta.row = best_row;
-    eta.pivot = w[best_row];
-    for (int i = 0; i < num_rows_; ++i) {
-      if (i != best_row && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
-    }
-    etas_.push_back(std::move(eta));
-    pivoted[best_row] = true;
-    new_basis[best_row] = j;
-  }
-  basis_ = std::move(new_basis);
+  factor_synced_ = true;
   RecomputeBasicValues();
   return true;
+}
+
+bool SimplexSolver::UpdateFactorization(int entering, int row,
+                                        bool& refactorized) {
+  refactorized = false;
+  // The Forrest–Tomlin update keeps the factorization current in O(touched
+  // entries); a rejected (unstable) update or a fired trigger collapses
+  // everything into a fresh LU instead.
+  if (factor_.Update(col_start_, row_index_, value_, entering, row) &&
+      !factor_.NeedsRefactorization()) {
+    return true;
+  }
+  refactorized = true;
+  return Refactorize();
 }
 
 void SimplexSolver::RecomputeBasicValues() {
@@ -329,25 +288,32 @@ void SimplexSolver::ComputeReducedCosts(std::vector<double>& d) const {
   }
 }
 
-int SimplexSolver::PriceDantzig(const std::vector<double>& d) const {
-  int best = -1;
-  double best_violation = options_.optimality_tol;
-  for (int j = 0; j < num_cols_; ++j) {
-    if (state_[j] == VarState::kBasic) continue;
-    if (lower_[j] == upper_[j]) continue;  // fixed: cannot move
-    double violation = 0.0;
-    if (state_[j] == VarState::kAtLower) {
-      // Can increase (or, for free variables parked at 0, also decrease —
-      // treated as increase of the mirrored direction below).
-      violation = -d[j];
-      if (!std::isfinite(lower_[j]) && d[j] > options_.optimality_tol) {
-        violation = d[j];  // free variable can decrease too
-      }
-    } else {
-      violation = d[j];
+double SimplexSolver::PrimalViolation(int j, double dj) const {
+  if (state_[j] == VarState::kBasic) return 0.0;
+  if (lower_[j] == upper_[j]) return 0.0;  // fixed: cannot move
+  if (state_[j] == VarState::kAtLower) {
+    // Can increase (or, for free variables parked at 0, also decrease).
+    double violation = -dj;
+    if (!std::isfinite(lower_[j]) && dj > options_.optimality_tol) {
+      violation = dj;  // free variable can decrease too
     }
-    if (violation > best_violation) {
-      best_violation = violation;
+    return violation;
+  }
+  return dj;
+}
+
+int SimplexSolver::PricePrimal(const std::vector<double>& d) const {
+  int best = -1;
+  double best_score = 0.0;
+  for (int j = 0; j < num_cols_; ++j) {
+    const double violation = PrimalViolation(j, d[j]);
+    if (violation <= options_.optimality_tol) continue;
+    // Devex scores by d²/w (steepest edge within the reference framework);
+    // with devex off this degrades to the classic Dantzig rule.
+    const double score =
+        options_.use_devex ? devex_.Score(j, violation) : violation;
+    if (best < 0 || score > best_score) {
+      best_score = score;
       best = j;
     }
   }
@@ -378,17 +344,32 @@ double SimplexSolver::PhaseObjective() const {
 LpStatus SimplexSolver::RunPhase(long max_iterations) {
   std::vector<double> d;
   std::vector<double> w(num_rows_);
+  std::vector<double> rho(num_rows_);
+  std::vector<double> alpha_row(num_cols_, 0.0);
   double last_objective = PhaseObjective();
-  int since_refactor = 0;
+
+  // Reduced costs are computed once and maintained incrementally across
+  // pivots (d'_j = d_j - (d_q/alpha_q)·alpha_j over the pivot row, which
+  // devex needs anyway); they are recomputed from scratch after every
+  // refactorization, and re-verified before any optimality claim.
+  ComputeReducedCosts(d);
+  bool d_fresh = true;
+  if (options_.use_devex) devex_.Reset(num_cols_);
 
   while (true) {
     if (iterations_ >= max_iterations) return LpStatus::kIterationLimit;
     if ((iterations_ & 63) == 0 && deadline_.Expired()) {
       return LpStatus::kTimeLimit;
     }
-    ComputeReducedCosts(d);
-    const int entering = use_bland_ ? PriceBland(d) : PriceDantzig(d);
-    if (entering < 0) return LpStatus::kOptimal;
+    const int entering = use_bland_ ? PriceBland(d) : PricePrimal(d);
+    if (entering < 0) {
+      // Incrementally maintained reduced costs drift; only a freshly
+      // recomputed vector may certify optimality.
+      if (d_fresh) return LpStatus::kOptimal;
+      ComputeReducedCosts(d);
+      d_fresh = true;
+      continue;
+    }
 
     // Direction: +1 when the entering variable increases.
     int dir;
@@ -452,30 +433,60 @@ LpStatus SimplexSolver::RunPhase(long max_iterations) {
 
     if (bound_delta <= best_delta + 1e-12 && bound_delta < kLpInfinity &&
         delta == bound_delta) {
-      // Bound flip: no basis change.
+      // Bound flip: no basis change, reduced costs unchanged.
       state_[entering] = (state_[entering] == VarState::kAtLower)
                              ? VarState::kAtUpper
                              : VarState::kAtLower;
       xval_[entering] = (state_[entering] == VarState::kAtUpper)
                             ? upper_[entering]
                             : lower_[entering];
+      ++bound_flips_;
     } else {
       assert(leaving_row >= 0);
       const int leaving = basis_[leaving_row];
+
+      // Pivot row alpha (one BTRAN + column dots): feeds both the
+      // incremental reduced-cost update and the devex weights.
+      std::fill(rho.begin(), rho.end(), 0.0);
+      rho[leaving_row] = 1.0;
+      Btran(rho);
+      for (int j = 0; j < num_cols_; ++j) {
+        alpha_row[j] = 0.0;
+        if (state_[j] == VarState::kBasic) continue;
+        double a = 0.0;
+        for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+          a += rho[row_index_[k]] * value_[k];
+        }
+        alpha_row[j] = a;
+      }
+      const double alpha_q = w[leaving_row];
+      const double dual_step = d[entering] / alpha_q;
+      if (dual_step != 0.0) {
+        for (int j = 0; j < num_cols_; ++j) {
+          if (alpha_row[j] != 0.0) d[j] -= dual_step * alpha_row[j];
+        }
+      }
+      d[entering] = 0.0;
+      d[leaving] = -dual_step;
+      d_fresh = false;
+      if (options_.use_devex && !use_bland_) {
+        devex_.UpdateOnPivot(alpha_row, entering, alpha_q, leaving);
+      }
+
       state_[leaving] =
           leaving_to_upper ? VarState::kAtUpper : VarState::kAtLower;
       xval_[leaving] = leaving_to_upper ? upper_[leaving] : lower_[leaving];
       state_[entering] = VarState::kBasic;
       basis_[leaving_row] = entering;
 
-      Eta eta;
-      eta.row = leaving_row;
-      eta.pivot = w[leaving_row];
-      for (int i = 0; i < num_rows_; ++i) {
-        if (i != leaving_row && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
+      bool refactorized = false;
+      if (!UpdateFactorization(entering, leaving_row, refactorized)) {
+        return LpStatus::kNumericalFailure;
       }
-      etas_.push_back(std::move(eta));
-      ++since_refactor;
+      if (refactorized) {
+        ComputeReducedCosts(d);
+        d_fresh = true;
+      }
     }
 
     ++iterations_;
@@ -485,13 +496,10 @@ LpStatus SimplexSolver::RunPhase(long max_iterations) {
     if (objective < last_objective - 1e-12 * (1.0 + std::abs(last_objective))) {
       stall_count_ = 0;
       last_objective = objective;
-    } else if (++stall_count_ > options_.stall_threshold) {
+    } else if (++stall_count_ > options_.stall_threshold && !use_bland_) {
       use_bland_ = true;
-    }
-
-    if (since_refactor >= options_.refactor_interval) {
-      if (!Refactorize()) return LpStatus::kNumericalFailure;
-      since_refactor = 0;
+      ComputeReducedCosts(d);  // a clean slate for Bland's rule
+      d_fresh = true;
     }
   }
 }
@@ -504,6 +512,15 @@ LpResult SimplexSolver::FinishResult(LpStatus status, bool warm,
   result.phase1_iterations = phase1_iterations_;
   result.dual_iterations = warm ? iterations_ : 0;
   result.factorizations = factorizations_;
+  const LuFactorization::Stats& fs = factor_.stats();
+  result.ft_updates = fs.ft_updates - factor_stats_base_.ft_updates;
+  result.refactor_updates =
+      fs.refactor_updates - factor_stats_base_.refactor_updates;
+  result.refactor_fill = fs.refactor_fill - factor_stats_base_.refactor_fill;
+  result.refactor_stability =
+      fs.refactor_stability - factor_stats_base_.refactor_stability;
+  result.bound_flips = bound_flips_;
+  result.se_resets = devex_.resets() + dse_.resets() - pricing_resets_base_;
   result.warm_started = warm;
   // Limit-stop iterates are only exposed when the caller says they are
   // primal feasible (a phase-2 primal stop); a phase-1 or dual stop leaves
@@ -521,6 +538,10 @@ LpResult SimplexSolver::FinishResult(LpStatus status, bool warm,
 LpResult SimplexSolver::Solve() {
   ResetCallCounters();
   ResetToCrashBasis();
+  if (!Refactorize()) {
+    return FinishResult(LpStatus::kNumericalFailure, /*warm=*/false,
+                        /*expose_partial=*/false);
+  }
   const long max_iterations = MaxIterations();
 
   // Phase 1: drive artificials to zero.
@@ -560,8 +581,9 @@ LpResult SimplexSolver::Solve() {
 LpResult SimplexSolver::SolveWithRetry() {
   LpResult result = Solve();
   if (result.status == LpStatus::kNumericalFailure) {
-    // One retry with tighter refactorization; PFI accuracy is the usual
-    // culprit and a short eta file avoids it.
+    // One retry with tighter tolerances: a short Forrest–Tomlin update
+    // window and a stricter pivot floor keep the factorization accurate
+    // when the default schedule drifted.
     const SimplexOptions saved = options_;
     options_.refactor_interval = 20;
     options_.pivot_tol = 1e-10;
@@ -593,6 +615,10 @@ bool SimplexSolver::LoadBasis(const Basis& basis) {
     return false;
   }
   TruncateArtificials();
+  // Loading the basis the solver already holds (the common plunge case:
+  // a child reoptimizes right after its parent solved) keeps the live
+  // factorization; anything else forces a rebuild on the next Reoptimize.
+  factor_synced_ = factor_synced_ && basis.basic_of_row_ == basis_;
   basis_ = basis.basic_of_row_;
   for (int j = 0; j < first_artificial_; ++j) {
     state_[j] = static_cast<VarState>(basis.state_[j]);
@@ -606,8 +632,15 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
   std::vector<double> rho(num_rows_);
   std::vector<double> alpha(num_cols_, 0.0);
   std::vector<double> w(num_rows_);
+  std::vector<double> flip_col(num_rows_);
+  struct Candidate {
+    int j;
+    double ratio;
+    double abs_alpha;
+  };
+  std::vector<Candidate> cands;
+  std::vector<int> flips;
   double last_infeasibility = kLpInfinity;
-  int since_refactor = 0;
   int consecutive_repairs = 0;
 
   // Reduced costs are computed once and updated incrementally per pivot
@@ -615,6 +648,7 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
   // row); every refactorization recomputes them from scratch, which bounds
   // the incremental drift at refactor_interval pivots.
   ComputeReducedCosts(d);
+  if (options_.use_steepest_edge) dse_.Reset(num_rows_);
 
   while (true) {
     if (iterations_ >= max_iterations) return LpStatus::kIterationLimit;
@@ -622,10 +656,11 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
       return LpStatus::kTimeLimit;
     }
 
-    // Leaving row: the most primal-infeasible basic variable (Bland: the
-    // infeasible row whose basic variable has the smallest column index).
+    // Leaving row: dual steepest edge scores violation²/gamma (steepest
+    // ascent in the dual); plain mode takes the most infeasible row, and
+    // Bland mode the infeasible row with the smallest basic column index.
     int r = -1;
-    double worst = options_.feasibility_tol;
+    double best_score = 0.0;
     double total_infeasibility = 0.0;
     for (int i = 0; i < num_rows_; ++i) {
       const int b = basis_[i];
@@ -636,14 +671,17 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
         violation = xval_[b] - upper_[b];
       }
       total_infeasibility += violation;
+      if (violation <= options_.feasibility_tol) continue;
       if (use_bland_) {
-        if (violation > options_.feasibility_tol &&
-            (r < 0 || b < basis_[r])) {
+        if (r < 0 || b < basis_[r]) r = i;
+      } else {
+        const double score = options_.use_steepest_edge
+                                 ? dse_.Score(i, violation)
+                                 : violation;
+        if (score > best_score) {
+          best_score = score;
           r = i;
         }
-      } else if (violation > worst) {
-        worst = violation;
-        r = i;
       }
     }
     if (r < 0) return LpStatus::kOptimal;  // primal + dual feasible
@@ -665,9 +703,8 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
     const bool below =
         std::isfinite(lower_[leaving]) && xval_[leaving] < lower_[leaving];
     // infeas > 0 when the basic variable sits above its upper bound.
-    const double infeas =
-        below ? xval_[leaving] - lower_[leaving]
-              : xval_[leaving] - upper_[leaving];
+    double infeas = below ? xval_[leaving] - lower_[leaving]
+                          : xval_[leaving] - upper_[leaving];
 
     // Row r of B^{-1}A: alpha_j = rho·a_j with rho = B^{-T} e_r. The full
     // row (not just the eligible candidates) feeds the post-pivot update.
@@ -675,8 +712,12 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
     rho[r] = 1.0;
     Btran(rho);
 
-    // Dual ratio test: among sign-eligible nonbasic columns, the entering
-    // one minimizes |d_j| / |alpha_j| so the pivot keeps dual feasibility.
+    // Dual ratio test. Short step (Bland, or bound flips disabled): the
+    // entering column minimizes |d_j|/|alpha_j| among the sign-eligible
+    // nonbasics. Long step: collect every eligible breakpoint instead and
+    // walk them below.
+    const bool long_step = options_.use_bound_flips && !use_bland_;
+    cands.clear();
     int entering = -1;
     double best_ratio = kLpInfinity;
     double best_alpha = 0.0;
@@ -710,6 +751,10 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
         numerator = std::max(-d[j], 0.0);
       }
       const double ratio = numerator / std::abs(a);
+      if (long_step) {
+        cands.push_back({j, ratio, std::abs(a)});
+        continue;
+      }
       const bool better =
           use_bland_
               ? ratio < best_ratio - 1e-12
@@ -723,26 +768,91 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
         entering_alpha = a;
       }
     }
+
+    // Long-step (bound-flipping) walk: passing a boxed breakpoint flips
+    // that variable across its box and reduces the dual slope by
+    // |alpha|·span; the first breakpoint the remaining slope cannot pass
+    // enters the basis. The entering ratio bounds every flipped ratio, so
+    // all flipped reduced costs change sign consistently with their new
+    // bound once the pivot's dual step is applied.
+    flips.clear();
+    if (long_step) {
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                  if (a.abs_alpha != b.abs_alpha) {
+                    return a.abs_alpha > b.abs_alpha;
+                  }
+                  return a.j < b.j;
+                });
+      double slope = std::abs(infeas);
+      for (const Candidate& cand : cands) {
+        const int j = cand.j;
+        const bool boxed =
+            std::isfinite(lower_[j]) && std::isfinite(upper_[j]);
+        const double gain =
+            boxed ? (upper_[j] - lower_[j]) * cand.abs_alpha : kLpInfinity;
+        if (!boxed || slope - gain <= options_.feasibility_tol) {
+          entering = j;
+          entering_alpha = alpha[j];
+          break;
+        }
+        flips.push_back(j);
+        slope -= gain;
+      }
+    }
     if (entering < 0) {
-      // Dual unbounded: the violated row cannot be repaired — primal
-      // infeasible (sound because the start basis was dual feasible).
+      // Dual unbounded: no eligible entering column, or (long step) every
+      // breakpoint flipped with slope to spare — either way the violated
+      // row cannot be repaired, proving the LP primal infeasible (sound
+      // because the start basis was verified dual feasible). Walked flips
+      // were never applied; they only existed on the walk.
       return LpStatus::kInfeasible;
     }
 
+    // FTRAN the entering column and cross-check the pivot against the
+    // BTRAN row *before* any state changes, so a repair retries cleanly.
     ScatterColumn(entering, w);
     Ftran(w);
     if (std::abs(w[r]) <= options_.pivot_tol ||
         std::abs(w[r] - entering_alpha) >
             0.5 * std::abs(w[r]) + options_.feasibility_tol) {
-      // FTRAN and BTRAN disagree about the pivot: the eta file has drifted.
+      // FTRAN and BTRAN disagree about the pivot: the factorization has
+      // drifted beyond trust.
+      factor_.MarkUnstable();
       if (++consecutive_repairs > 2 || !Refactorize()) {
         return LpStatus::kNumericalFailure;
       }
-      since_refactor = 0;
-      ComputeReducedCosts(d);  // fresh inverse: re-price from scratch
+      ComputeReducedCosts(d);  // fresh factorization: re-price from scratch
       continue;
     }
     consecutive_repairs = 0;
+
+    // Apply the harvested bound flips: nonbasics jump across their box in
+    // bulk, the basics absorb the combined column delta via one FTRAN.
+    if (!flips.empty()) {
+      std::fill(flip_col.begin(), flip_col.end(), 0.0);
+      for (int j : flips) {
+        const bool to_upper = state_[j] == VarState::kAtLower;
+        const double delta =
+            to_upper ? upper_[j] - lower_[j] : lower_[j] - upper_[j];
+        state_[j] = to_upper ? VarState::kAtUpper : VarState::kAtLower;
+        xval_[j] = to_upper ? upper_[j] : lower_[j];
+        for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+          flip_col[row_index_[k]] += value_[k] * delta;
+        }
+        ++bound_flips_;
+      }
+      Ftran(flip_col);
+      for (int i = 0; i < num_rows_; ++i) {
+        if (flip_col[i] != 0.0) xval_[basis_[i]] -= flip_col[i];
+      }
+      // The leaving variable's violation shrank by the flipped mass; a
+      // numerically crossed sign degrades to a degenerate pivot.
+      infeas = below ? xval_[leaving] - lower_[leaving]
+                     : xval_[leaving] - upper_[leaving];
+      if (below ? infeas > 0 : infeas < 0) infeas = 0;
+    }
 
     const double theta = infeas / w[r];
     for (int i = 0; i < num_rows_; ++i) {
@@ -764,35 +874,33 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
     d[entering] = 0.0;
     d[leaving] = -dual_step;
 
+    if (options_.use_steepest_edge && !use_bland_) {
+      dse_.UpdateOnPivot(w, r, w[r]);
+    }
+
     state_[entering] = VarState::kBasic;
     basis_[r] = entering;
 
-    Eta eta;
-    eta.row = r;
-    eta.pivot = w[r];
-    for (int i = 0; i < num_rows_; ++i) {
-      if (i != r && w[i] != 0.0) eta.other.emplace_back(i, w[i]);
+    bool refactorized = false;
+    if (!UpdateFactorization(entering, r, refactorized)) {
+      return LpStatus::kNumericalFailure;
     }
-    etas_.push_back(std::move(eta));
+    if (refactorized) ComputeReducedCosts(d);
     ++iterations_;
-
-    if (++since_refactor >= options_.refactor_interval) {
-      if (!Refactorize()) return LpStatus::kNumericalFailure;
-      since_refactor = 0;
-      ComputeReducedCosts(d);
-    }
   }
 }
 
 LpResult SimplexSolver::Reoptimize() {
   ResetCallCounters();
-  if (!basis_ready_) return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
+  // Every bail-out below reports the same "warm path unusable" result;
+  // the caller's ladder then falls back to a cold Solve().
+  auto fail = [this]() {
+    return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
                         /*expose_partial=*/false);
+  };
+  if (!basis_ready_) return fail();
   for (int j : basis_) {
-    if (j < 0 || j >= first_artificial_) {
-      return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
-                        /*expose_partial=*/false);
-    }
+    if (j < 0 || j >= first_artificial_) return fail();
   }
   TruncateArtificials();
 
@@ -815,9 +923,14 @@ LpResult SimplexSolver::Reoptimize() {
   }
 
   cost_ = real_cost_;
-  if (!Refactorize()) {
-    return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
-                        /*expose_partial=*/false);
+  // Reuse the live factorization when the loaded basis is the one the
+  // solver already factorized (the plunging-child fast path); only the
+  // basic values need recomputing under the new bounds. A stale, invalid,
+  // or trigger-due factorization is rebuilt instead.
+  if (!factor_synced_ || !factor_.valid() || factor_.NeedsRefactorization()) {
+    if (!Refactorize()) return fail();
+  } else {
+    RecomputeBasicValues();
   }
 
   // The dual simplex needs a dual-feasible start; the parent's optimal
@@ -833,14 +946,10 @@ LpResult SimplexSolver::Reoptimize() {
     const bool free_var =
         !std::isfinite(lower_[j]) && !std::isfinite(upper_[j]);
     if (free_var) {
-      if (std::abs(d[j]) > dual_tol) {
-        return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
-                        /*expose_partial=*/false);
-      }
+      if (std::abs(d[j]) > dual_tol) return fail();
     } else if (state_[j] == VarState::kAtLower ? d[j] < -dual_tol
                                                : d[j] > dual_tol) {
-      return FinishResult(LpStatus::kNumericalFailure, /*warm=*/true,
-                        /*expose_partial=*/false);
+      return fail();
     }
   }
 

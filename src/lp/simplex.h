@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "lp/factorization.h"
 #include "lp/model.h"
+#include "lp/pricing.h"
 #include "lp/solve_stats.h"
 #include "util/stopwatch.h"
 
@@ -22,6 +24,9 @@ enum class LpStatus {
 
 const char* LpStatusName(LpStatus status);
 
+/// Knobs of the simplex core. The numerical-tolerance table in
+/// src/lp/README.md documents how these interact; the defaults are tuned
+/// for the eq.-(7) partitioning models and rarely need changing.
 struct SimplexOptions {
   /// Bound/row feasibility tolerance.
   double feasibility_tol = 1e-7;
@@ -35,8 +40,24 @@ struct SimplexOptions {
   /// Wall-clock cap in seconds; <= 0 means none. A timed-out solve reports
   /// kTimeLimit.
   double time_limit_seconds = 0.0;
-  /// Refactorize (rebuild the product-form inverse) this often.
+  /// Forrest–Tomlin updates accepted before the basis LU is rebuilt from
+  /// scratch (the update-count refactorization trigger).
   int refactor_interval = 100;
+  /// Markowitz threshold partial pivoting: a factorization pivot must be
+  /// within this factor of its column's largest active entry.
+  double markowitz_threshold = 0.1;
+  /// Fill-growth refactorization trigger: rebuild when the factor's
+  /// nonzeros exceed this multiple of the fresh factorization's.
+  double fill_ratio = 6.0;
+  /// Devex pricing for the primal phases (off = classic Dantzig).
+  bool use_devex = true;
+  /// Dual steepest-edge row pricing for Reoptimize() (off =
+  /// most-infeasible row selection).
+  bool use_steepest_edge = true;
+  /// Long-step (bound-flipping) dual ratio test: harvest nonbasic bound
+  /// flips along the dual ray so box-constrained variables move in bulk
+  /// per pivot (off = one basis change per dual pivot).
+  bool use_bound_flips = true;
   /// After this many consecutive non-improving (degenerate) iterations the
   /// pricing switches to Bland's rule, which guarantees termination. Applies
   /// to both the primal phases and the dual reoptimization.
@@ -57,11 +78,36 @@ struct LpResult {
   long phase1_iterations = 0;
   /// Dual pivots (non-zero only for Reoptimize calls).
   long dual_iterations = 0;
-  /// Product-form-inverse rebuilds during this call.
+  /// Fresh LU factorizations of the basis during this call.
   long factorizations = 0;
+  /// Forrest–Tomlin updates applied during this call.
+  long ft_updates = 0;
+  /// Nonbasic bound flips (long-step dual + primal bound-to-bound moves).
+  long bound_flips = 0;
+  /// Devex / dual-steepest-edge reference-framework resets.
+  long se_resets = 0;
+  /// Refactorization triggers of this call, by reason (update-count cap,
+  /// fill growth, numerical distrust); see LpSolveStats for semantics.
+  long refactor_updates = 0;
+  long refactor_fill = 0;
+  long refactor_stability = 0;
   /// True when this result came from a dual reoptimization of a loaded
   /// basis rather than a cold two-phase primal.
   bool warm_started = false;
+
+  /// Folds this call's factorization/pricing counters into an aggregate —
+  /// the one place that knows the LpResult <-> LpSolveStats counter
+  /// mapping (the iteration/start counters stay caller-assigned because
+  /// their meaning depends on the warm/cold path taken).
+  void AddFactorCountersTo(LpSolveStats& stats) const {
+    stats.factorizations += factorizations;
+    stats.ft_updates += ft_updates;
+    stats.bound_flips += bound_flips;
+    stats.se_resets += se_resets;
+    stats.refactor_updates += refactor_updates;
+    stats.refactor_fill += refactor_fill;
+    stats.refactor_stability += refactor_stability;
+  }
 };
 
 /// Snapshot of a simplex basis: which column is basic in each row and the
@@ -92,11 +138,21 @@ class Basis {
 ///   if (solver.LoadBasis(parent_basis)) result = solver.Reoptimize();
 ///   if (result.status needs it)         result = solver.Solve();   // cold
 ///
-/// Solve() is the original two-phase primal (Dantzig pricing, Bland
-/// anti-cycling fallback, product-form inverse). Reoptimize() runs a
-/// bounded-variable dual simplex from the loaded basis: after a bound
-/// tightening the parent's optimal basis stays dual feasible, so the child
-/// reoptimizes in a handful of dual pivots without any phase 1.
+/// The linear algebra runs on a sparse LU factorization of the basis
+/// (Markowitz pivoting, lp/factorization.h) kept current across pivots by
+/// Forrest–Tomlin updates; the basis is refactorized only when the update
+/// count, factor fill, or a stability check says so — including across
+/// Reoptimize() calls, so reloading the basis the solver already holds
+/// (the plunging child of a just-solved B&B node) skips the rebuild
+/// entirely.
+///
+/// Solve() is the cold two-phase primal: devex pricing (Dantzig when
+/// disabled, Bland under stalls) with reduced costs maintained
+/// incrementally across pivots. Reoptimize() runs a bounded-variable dual
+/// simplex from the loaded basis — dual steepest-edge row selection and a
+/// long-step (bound-flipping) ratio test — so after a bound tightening the
+/// parent's optimal basis reoptimizes in a handful of dual pivots without
+/// any phase 1. See src/lp/README.md for the full internals contract.
 ///
 /// Not thread-safe; use one SimplexSolver per worker. The model must
 /// outlive the solver.
@@ -138,21 +194,15 @@ class SimplexSolver {
 
   /// Installs a snapshot taken from a solver over the same model. Returns
   /// false (leaving the solver needing a cold Solve()) on an invalid or
-  /// shape-mismatched snapshot.
+  /// shape-mismatched snapshot. Loading the basis the solver already
+  /// holds keeps the live factorization (no rebuild on the next
+  /// Reoptimize()).
   bool LoadBasis(const Basis& basis);
 
   const LpModel& model() const { return model_; }
 
  private:
   enum class VarState : uint8_t { kBasic, kAtLower, kAtUpper };
-
-  /// One elementary transformation of the product-form inverse: the basis
-  /// changed by bringing the (FTRAN-ed) column `w` into position `row`.
-  struct Eta {
-    int row = -1;
-    double pivot = 0.0;                         // w[row]
-    std::vector<std::pair<int, double>> other;  // (i, w[i]) for i != row
-  };
 
   // --- setup -------------------------------------------------------------
   void BuildMatrix();
@@ -165,21 +215,29 @@ class SimplexSolver {
   /// primal) and may be reported as best-effort values.
   LpResult FinishResult(LpStatus status, bool warm, bool expose_partial);
 
-  // --- linear algebra over the product-form inverse ----------------------
+  // --- linear algebra over the LU factorization --------------------------
   void Ftran(std::vector<double>& w) const;  // w := B^{-1} w
   void Btran(std::vector<double>& v) const;  // v := B^{-T} v
   void ScatterColumn(int j, std::vector<double>& out) const;
   bool Refactorize();
   void RecomputeBasicValues();
+  /// Forrest–Tomlin update for "entering replaces position `row`", with
+  /// the trigger-driven refactorization fallback. False = unrecoverable;
+  /// `refactorized` reports whether a fresh LU replaced the update (the
+  /// caller must then re-price from scratch).
+  bool UpdateFactorization(int entering, int row, bool& refactorized);
 
-  // --- primal iteration --------------------------------------------------
-  int PriceDantzig(const std::vector<double>& d) const;
+  // --- pricing -----------------------------------------------------------
+  /// Reduced-cost violation of nonbasic column j (> 0 when j can improve
+  /// the objective by moving off its bound); 0 when ineligible.
+  double PrimalViolation(int j, double dj) const;
+  int PricePrimal(const std::vector<double>& d) const;
   int PriceBland(const std::vector<double>& d) const;
   void ComputeReducedCosts(std::vector<double>& d) const;
+
+  // --- iteration loops ---------------------------------------------------
   LpStatus RunPhase(long max_iterations);
   double PhaseObjective() const;
-
-  // --- dual iteration ----------------------------------------------------
   LpStatus RunDual(long max_iterations);
 
   long MaxIterations() const;
@@ -208,11 +266,20 @@ class SimplexSolver {
   std::vector<int> basis_;       // row -> column
   std::vector<VarState> state_;  // column -> state
   std::vector<double> xval_;     // column -> current value
-  std::vector<Eta> etas_;
+  LuFactorization factor_;
+  /// The live factorization matches basis_ (kept true across pivots by the
+  /// Forrest–Tomlin updates; false after a crash reset or loading a
+  /// different basis). When true, Reoptimize() skips the rebuild.
+  bool factor_synced_ = false;
+  DevexPricing devex_;
+  DualSteepestEdgePricing dse_;
   bool basis_ready_ = false;  // a loaded/left basis is available
   long iterations_ = 0;
   long phase1_iterations_ = 0;
   long factorizations_ = 0;
+  long bound_flips_ = 0;
+  LuFactorization::Stats factor_stats_base_;
+  long pricing_resets_base_ = 0;
   long stall_count_ = 0;
   bool use_bland_ = false;
 };

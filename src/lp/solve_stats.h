@@ -6,20 +6,24 @@ namespace vpart {
 /// Aggregated telemetry of a sequence of LP solves — one branch & bound
 /// search, one portfolio ILP lane, one advise request. Produced per call by
 /// SimplexSolver (lp/simplex.h), accumulated by mip/, and threaded through
-/// solver/ -> engine/ -> api/ so a service can see how warm starting is
-/// doing (warm_starts vs cold_starts, dual vs primal pivots) without
-/// attaching a profiler.
+/// solver/ -> engine/ -> api/ so a service can see how warm starting and
+/// the factorized simplex core are doing (warm_starts vs cold_starts, dual
+/// vs primal pivots, Forrest–Tomlin updates vs refactorizations) without
+/// attaching a profiler. Field-by-field consumer documentation lives in
+/// README.md § "Solve statistics in the response".
 struct LpSolveStats {
   /// LP relaxations solved (every B&B node, dive step, and retry target).
   long lp_solves = 0;
-  /// Solves answered by dual-simplex reoptimization from a parent basis.
+  /// Solves answered by dual-simplex reoptimization from a parent basis —
+  /// including reoptimizations stopped by the node's wall-clock budget
+  /// (they are not retried cold, so the ledger stays closed:
+  /// warm_starts + cold_starts == lp_solves).
   long warm_starts = 0;
   /// Solves answered by the two-phase primal from a crash basis.
   long cold_starts = 0;
   /// Warm attempts that had to fall back to a cold solve (numerical
   /// failure, a stale or dual-infeasible basis, or an iteration cap hit
-  /// mid-reoptimization; a time-limit expiry is not retried and counts
-  /// toward neither warm_starts nor cold_starts).
+  /// mid-reoptimization).
   long warm_start_failures = 0;
   /// Primal pivots across all cold solves (includes the phase-1 share).
   long primal_iterations = 0;
@@ -27,8 +31,30 @@ struct LpSolveStats {
   long phase1_iterations = 0;
   /// Dual pivots across all warm reoptimizations.
   long dual_iterations = 0;
-  /// Product-form-inverse rebuilds (basis refactorizations).
+  /// Fresh LU factorizations of the basis (cold-start crash bases, stale
+  /// warm-start loads, and trigger-driven rebuilds; see the refactor_*
+  /// counters for why the triggered ones fired).
   long factorizations = 0;
+  /// Forrest–Tomlin updates applied in place of a refactorization — the
+  /// healthy steady state is many ft_updates per factorization.
+  long ft_updates = 0;
+  /// Nonbasic bound flips harvested by the long-step (bound-flipping) dual
+  /// ratio test and by primal bound-to-bound moves: variables moved across
+  /// their box without a basis change.
+  long bound_flips = 0;
+  /// Devex / dual-steepest-edge reference-framework resets (weights grew
+  /// past the trust threshold and restarted from 1). A handful per solve
+  /// is normal; a flood signals a numerically hostile model.
+  long se_resets = 0;
+  /// Refactorizations triggered by the update-count cap
+  /// (SimplexOptions::refactor_interval Forrest–Tomlin updates applied).
+  long refactor_updates = 0;
+  /// Refactorizations triggered by factor fill growth past
+  /// SimplexOptions::fill_ratio times the fresh factorization's nonzeros.
+  long refactor_fill = 0;
+  /// Refactorizations forced by numerical distrust: a rejected (unstable)
+  /// Forrest–Tomlin update or an FTRAN/BTRAN disagreement on the pivot.
+  long refactor_stability = 0;
   /// Wall clock spent inside LP solves.
   double lp_seconds = 0.0;
 
@@ -43,6 +69,12 @@ struct LpSolveStats {
     phase1_iterations += other.phase1_iterations;
     dual_iterations += other.dual_iterations;
     factorizations += other.factorizations;
+    ft_updates += other.ft_updates;
+    bound_flips += other.bound_flips;
+    se_resets += other.se_resets;
+    refactor_updates += other.refactor_updates;
+    refactor_fill += other.refactor_fill;
+    refactor_stability += other.refactor_stability;
     lp_seconds += other.lp_seconds;
   }
 };

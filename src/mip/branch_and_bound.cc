@@ -98,14 +98,17 @@ class NodeLpSolver {
     if (use_warm_ && warm != nullptr && solver_.LoadBasis(*warm)) {
       lp = solver_.Reoptimize();
       delta.dual_iterations += lp.dual_iterations;
-      delta.factorizations += lp.factorizations;
+      lp.AddFactorCountersTo(delta);
       if (lp.status == LpStatus::kOptimal ||
           lp.status == LpStatus::kInfeasible) {
         ++delta.warm_starts;
         answered = true;
       } else if (lp.status == LpStatus::kTimeLimit) {
         // The node budget ran out mid-reoptimization; a cold start would
-        // only spend more of a budget that is already gone.
+        // only spend more of a budget that is already gone. The dual path
+        // answered (with a deadline), so the warm/cold ledger stays
+        // closed: warm_starts + cold_starts == lp_solves.
+        ++delta.warm_starts;
         answered = true;
       } else {
         ++delta.warm_start_failures;
@@ -116,7 +119,7 @@ class NodeLpSolver {
       ++delta.cold_starts;
       delta.primal_iterations += lp.iterations;
       delta.phase1_iterations += lp.phase1_iterations;
-      delta.factorizations += lp.factorizations;
+      lp.AddFactorCountersTo(delta);
     }
     ++delta.lp_solves;
     delta.lp_seconds = watch.ElapsedSeconds();

@@ -2,7 +2,9 @@
 // reoptimization after bound changes must agree (status + objective) with a
 // cold two-phase primal on the same bounds — across textbook models,
 // randomized LPs, eq.-(7) models of random_instance workloads with B&B-style
-// binary fixings, and degenerate/stall cases exercising the Bland fallback.
+// binary fixings, degenerate/stall cases exercising the Bland fallback, and
+// every combination of the factorized core's pricing upgrades (dual
+// steepest edge, devex, the long-step bound-flipping ratio test).
 
 #include <gtest/gtest.h>
 
@@ -291,6 +293,125 @@ TEST(WarmStartTest, DegenerateReoptimizationSurvivesBlandFallback) {
   }
 }
 
+// The factorized core's pricing/ratio-test upgrades must not change what
+// is proven: warm==cold across the 2^3 combinations of dual steepest edge,
+// bound flips, and devex on the production-shaped eq.-(7) models.
+TEST(WarmStartTest, PricingAndRatioTestVariantsAgreeWarmAndCold) {
+  Rng rng(99);
+  RandomInstanceParams params;
+  params.num_transactions = 8;
+  params.num_tables = 3;
+  params.max_attributes_per_table = 6;
+  params.seed = 1234;
+  params.name = "pricing_variants";
+  Instance instance = MakeRandomInstance(params);
+  CostModel cost_model(&instance, {.p = 8, .lambda = 0.1});
+  FormulationOptions formulation_options;
+  formulation_options.num_sites = 2;
+  IlpFormulation f = BuildIlpFormulation(cost_model, formulation_options);
+
+  std::vector<int> binaries;
+  for (int j = 0; j < f.model.num_variables(); ++j) {
+    if (f.model.variable(j).is_integer) binaries.push_back(j);
+  }
+
+  for (int variant = 0; variant < 8; ++variant) {
+    SimplexOptions options;
+    options.use_steepest_edge = (variant & 1) != 0;
+    options.use_bound_flips = (variant & 2) != 0;
+    options.use_devex = (variant & 4) != 0;
+    const std::string where = "variant " + std::to_string(variant);
+
+    SimplexSolver solver(f.model, options);
+    LpResult base = solver.Solve();
+    ASSERT_EQ(base.status, LpStatus::kOptimal) << where;
+    Basis basis = solver.SaveBasis();
+    ASSERT_TRUE(basis.valid()) << where;
+
+    for (int change = 0; change < 6; ++change) {
+      std::vector<std::pair<double, double>> bounds;
+      for (int j = 0; j < f.model.num_variables(); ++j) {
+        bounds.emplace_back(f.model.variable(j).lower,
+                            f.model.variable(j).upper);
+      }
+      const int fixes = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int k = 0; k < fixes; ++k) {
+        const int j = binaries[rng.NextBounded(binaries.size())];
+        const double v = rng.NextBool(0.5) ? 1.0 : 0.0;
+        bounds[j] = {v, v};
+      }
+      CheckWarmAgainstCold(f.model, basis, bounds, options, where);
+    }
+  }
+}
+
+// A box-heavy model engineered so the dual's long step can harvest many
+// flips per pivot: the reoptimization must agree with a cold solve, and
+// with the bound-flip ratio test disabled, while actually flipping bounds
+// (the telemetry proves the path was exercised).
+TEST(WarmStartTest, BoundFlipHarvestMatchesShortStepAndCold) {
+  // min -sum x_j  s.t.  sum x_j - z = 0, x_j in [0, 1], z in [0, 20]:
+  // at the optimum every x_j sits at its upper bound and z = n is basic.
+  // Tightening z's upper bound (the "capacity") violates the basic z, and
+  // every x_j becomes a breakpoint of the same dual ratio — the long step
+  // must pull floor(excess) of them off their bounds in one pivot.
+  LpModel model;
+  const int n = 14;
+  std::vector<std::pair<int, double>> terms;
+  for (int j = 0; j < n; ++j) {
+    model.AddVariable(0, 1, -1, "x" + std::to_string(j));
+    terms.emplace_back(j, 1.0);
+  }
+  const int y = model.AddVariable(0, 20, 0, "z");
+  terms.emplace_back(y, -1.0);
+  model.AddConstraint(ConstraintSense::kEqual, 0, std::move(terms));
+
+  SimplexOptions long_step;
+  long_step.use_bound_flips = true;
+  SimplexOptions short_step;
+  short_step.use_bound_flips = false;
+
+  SimplexSolver solver(model, long_step);
+  ASSERT_EQ(solver.Solve().status, LpStatus::kOptimal);
+  Basis basis = solver.SaveBasis();
+  ASSERT_TRUE(basis.valid());
+
+  // Shrink the capacity hard: the optimal basis stays dual feasible and
+  // the dual must pull many x_j off their upper bounds at once.
+  Rng rng(5);
+  long total_flips = 0;
+  for (int change = 0; change < 10; ++change) {
+    std::vector<std::pair<double, double>> bounds;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      bounds.emplace_back(model.variable(j).lower, model.variable(j).upper);
+    }
+    bounds[y] = {0.0, rng.NextDouble() * 4};  // capacity relief shrinks
+
+    SimplexSolver warm_solver(model, long_step);
+    warm_solver.SetBounds(&bounds);
+    ASSERT_TRUE(warm_solver.LoadBasis(basis));
+    LpResult warm = warm_solver.Reoptimize();
+    if (warm.status == LpStatus::kNumericalFailure) continue;  // ladder
+    total_flips += warm.bound_flips;
+
+    SimplexSolver short_solver(model, short_step);
+    short_solver.SetBounds(&bounds);
+    ASSERT_TRUE(short_solver.LoadBasis(basis));
+    LpResult short_warm = short_solver.Reoptimize();
+
+    LpResult cold = SolveLp(model, long_step, &bounds);
+    ASSERT_EQ(warm.status, cold.status) << "change " << change;
+    if (warm.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, kTol) << "change " << change;
+      if (short_warm.status == LpStatus::kOptimal) {
+        EXPECT_NEAR(warm.objective, short_warm.objective, kTol)
+            << "change " << change;
+      }
+    }
+  }
+  EXPECT_GT(total_flips, 0) << "long-step dual never flipped a bound";
+}
+
 TEST(WarmStartTest, TelemetryDistinguishesWarmFromCold) {
   LpModel model = TextbookModel();
   SimplexSolver solver(model);
@@ -307,6 +428,9 @@ TEST(WarmStartTest, TelemetryDistinguishesWarmFromCold) {
   ASSERT_EQ(warm.status, LpStatus::kOptimal);
   EXPECT_TRUE(warm.warm_started);
   EXPECT_EQ(warm.iterations, warm.dual_iterations);
+  // Reloading the basis this solver just solved keeps the live LU: the
+  // reoptimization must not have paid a single refactorization.
+  EXPECT_EQ(warm.factorizations, 0);
 }
 
 }  // namespace

@@ -68,9 +68,11 @@ void PrintHelp() {
       "response telemetry: every document carries telemetry.mip — the\n"
       "branch & bound's node count and node-LP solve statistics\n"
       "(warm_starts vs cold_starts, dual/primal/phase1 iterations,\n"
-      "factorizations, lp_seconds; all zero for pure-heuristic solves).\n"
-      "With emit_events, ilp progress events carry the same counters\n"
-      "under \"lp\" as they accumulate.\n",
+      "factorizations vs ft_updates, bound_flips, se_resets, the\n"
+      "refactor_* trigger counters, lp_seconds; all zero for\n"
+      "pure-heuristic solves — field reference in README.md). With\n"
+      "emit_events, ilp progress events carry the same counters under\n"
+      "\"lp\" as they accumulate.\n",
       JoinStrings(SolverRegistry::Global().Names(), ", ").c_str(),
       JoinStrings(CostModelRegistry::Global().Names(), ", ").c_str());
 }
