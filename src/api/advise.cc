@@ -2,17 +2,61 @@
 
 #include <atomic>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "api/solver_registry.h"
 #include "cost/cost_model_registry.h"
 #include "cost/latency_decorator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/attribute_groups.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace vpart {
+namespace {
+
+/// Folds one solve's LP statistics into the global metrics registry so
+/// Prometheus scrapes see process-lifetime totals alongside the per-solve
+/// telemetry.mip block (whose schema stays untouched).
+void FoldLpStatsIntoMetrics(const LpSolveStats& stats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& lp_solves = registry.GetCounter(
+      "vpart_lp_solves_total", "Node-LP solves across all requests");
+  static Counter& warm = registry.GetCounter(
+      "vpart_lp_warm_starts_total", "Node LPs served by dual reoptimization");
+  static Counter& cold = registry.GetCounter(
+      "vpart_lp_cold_starts_total", "Node LPs solved from scratch");
+  static Counter& iterations = registry.GetCounter(
+      "vpart_lp_iterations_total", "Simplex pivots (primal+phase1+dual)");
+  static Counter& factorizations = registry.GetCounter(
+      "vpart_lp_factorizations_total", "Basis factorizations from scratch");
+  static Counter& ft_updates = registry.GetCounter(
+      "vpart_lp_ft_updates_total", "Forrest-Tomlin basis updates");
+  static Counter& lp_micros = registry.GetCounter(
+      "vpart_lp_seconds_micro_total", "Microseconds spent inside LP solves");
+  lp_solves.Add(stats.lp_solves);
+  warm.Add(stats.warm_starts);
+  cold.Add(stats.cold_starts);
+  iterations.Add(stats.primal_iterations + stats.phase1_iterations +
+                 stats.dual_iterations);
+  factorizations.Add(stats.factorizations);
+  ft_updates.Add(stats.ft_updates);
+  lp_micros.Add(static_cast<long>(stats.lp_seconds * 1e6));
+}
+
+/// Gauge decrement on every exit path (the advise body has many early
+/// returns).
+struct InflightGuard {
+  Gauge& gauge;
+  explicit InflightGuard(Gauge& g) : gauge(g) { gauge.Add(1.0); }
+  ~InflightGuard() { gauge.Add(-1.0); }
+};
+
+}  // namespace
 
 const char* AdviseOutcomeName(AdviseOutcome outcome) {
   switch (outcome) {
@@ -72,6 +116,27 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   Stopwatch watch;
   AdviseResponse response;
 
+  // Apply the request's observability budget for the duration of the solve
+  // and open the root span. The span lives in an optional so it can be
+  // closed (and thus counted) before the telemetry snapshots are taken.
+  ScopedObsLevel scoped_obs(request.obs);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Counter& requests_total = metrics.GetCounter(
+      "vpart_advise_requests_total", "Advise requests started");
+  static Gauge& inflight = metrics.GetGauge(
+      "vpart_advise_inflight", "Advise requests currently executing");
+  static Histogram& advise_seconds = metrics.GetHistogram(
+      "vpart_advise_seconds", DefaultLatencyBounds(),
+      "End-to-end advise latency in seconds");
+  requests_total.Increment();
+  InflightGuard inflight_guard(inflight);
+  std::optional<Span> root_span;
+  root_span.emplace("advise", "api");
+  root_span->AddArg("solver", request.solver);
+  root_span->AddArg("cost_model", request.cost_model.backend);
+  root_span->AddArg("num_sites", static_cast<long>(request.num_sites));
+  root_span->AddArg("num_threads", static_cast<long>(request.num_threads));
+
   // Resolve the cost-model backend up front: an unknown name or a
   // solver/model capability mismatch must fail before any solving starts.
   CostModelRegistry& cost_registry = CostModelRegistry::Global();
@@ -118,8 +183,10 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
     VPART_LOG(Warning) << warning;
     response.warnings.push_back(warning);
   } else if (request.use_attribute_grouping) {
+    Span grouping_span("attribute_grouping", "api");
     grouping = BuildAttributeGrouping(instance);
     VPART_RETURN_IF_ERROR(grouping.status());
+    grouping_span.AddArg("groups", static_cast<long>(grouping->num_groups()));
     if (grouping->num_groups() < instance.num_attributes()) {
       solve_instance = &grouping->reduced;
       grouped = true;
@@ -127,11 +194,17 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   }
 
   SolverRegistry& registry = SolverRegistry::Global();
-  StatusOr<std::string> resolved =
-      registry.Resolve(*solve_instance, request, &response.warnings);
-  VPART_RETURN_IF_ERROR(resolved.status());
-  StatusOr<std::unique_ptr<Solver>> solver = registry.Create(*resolved);
-  VPART_RETURN_IF_ERROR(solver.status());
+  StatusOr<std::string> resolved = InvalidArgumentError("unresolved");
+  StatusOr<std::unique_ptr<Solver>> solver = InvalidArgumentError("uncreated");
+  {
+    Span dispatch_span("registry_dispatch", "registry");
+    dispatch_span.AddArg("requested", request.solver);
+    resolved = registry.Resolve(*solve_instance, request, &response.warnings);
+    VPART_RETURN_IF_ERROR(resolved.status());
+    dispatch_span.AddArg("resolved", *resolved);
+    solver = registry.Create(*resolved);
+    VPART_RETURN_IF_ERROR(solver.status());
+  }
 
   // Wrap the caller's hooks so the response can report stream telemetry.
   std::atomic<long> progress_events{0};
@@ -140,8 +213,13 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   ctx.token = hooks.token;
   if (hooks.progress) {
     ctx.progress = [&progress_events, &hooks](const ProgressEvent& event) {
-      progress_events.fetch_add(1, std::memory_order_relaxed);
-      hooks.progress(event);
+      // Stamp the stream position: fetch_add hands every event a unique,
+      // dense sequence number even when solver threads emit concurrently.
+      // Consumers order by `seq` (delivery order may interleave).
+      ProgressEvent numbered = event;
+      numbered.seq =
+          progress_events.fetch_add(1, std::memory_order_relaxed);
+      hooks.progress(numbered);
     };
   }
   if (hooks.incumbent) {
@@ -155,11 +233,21 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   // sound here because the synchronous solve cannot outlive this frame —
   // sessions own the instance via shared_ptr one layer up.
   StatusOr<std::shared_ptr<const CostCoefficients>> solve_model =
-      cost_registry.Build(BorrowInstance(*solve_instance), request.cost,
-                          request.cost_model);
-  VPART_RETURN_IF_ERROR(solve_model.status());
-  StatusOr<SolverRun> run = (*solver)->Solve(**solve_model, request, ctx);
-  VPART_RETURN_IF_ERROR(run.status());
+      InvalidArgumentError("unbuilt");
+  {
+    Span build_span("build_cost_model", "api");
+    build_span.AddArg("backend", request.cost_model.backend);
+    solve_model = cost_registry.Build(BorrowInstance(*solve_instance),
+                                      request.cost, request.cost_model);
+    VPART_RETURN_IF_ERROR(solve_model.status());
+  }
+  StatusOr<SolverRun> run = InvalidArgumentError("unsolved");
+  {
+    Span solve_span("solve", "api");
+    solve_span.AddArg("solver", *resolved);
+    run = (*solver)->Solve(**solve_model, request, ctx);
+    VPART_RETURN_IF_ERROR(run.status());
+  }
 
   AdvisorResult& result = response.result;
   result.partitioning = grouped
@@ -171,6 +259,8 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   // Price the result on the original instance: reuse the solve model when
   // no grouping happened (same instance, same coefficients), and fold the
   // Appendix-A exposure in through the composable latency decorator.
+  std::optional<Span> price_span;
+  price_span.emplace("price_result", "api");
   std::shared_ptr<const CostCoefficients> full_model = *solve_model;
   if (grouped) {
     StatusOr<std::shared_ptr<const CostCoefficients>> rebuilt =
@@ -201,6 +291,7 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   result.algorithm_used = grouped ? label + "+groups" : label;
   result.proven_optimal = run->proven_optimal;
   result.seconds = watch.ElapsedSeconds();
+  price_span.reset();
 
   response.solver_used = *resolved;
   response.cost_model_used = request.cost_model.backend;
@@ -224,10 +315,23 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
     done.gap = result.proven_optimal ? 0.0 : 100.0;
     done.detail = response.incumbents;
     done.lp = response.lp_stats;
+    done.seq = progress_events.fetch_add(1, std::memory_order_relaxed);
     hooks.progress(done);
-    progress_events.fetch_add(1, std::memory_order_relaxed);
   }
   response.progress_events = progress_events.load(std::memory_order_relaxed);
+
+  // Fold the solve's LP statistics into the process-lifetime metrics and
+  // close the root span so this request's spans are visible in its own
+  // trace summary, then capture the observability snapshots.
+  FoldLpStatsIntoMetrics(response.lp_stats);
+  advise_seconds.Observe(result.seconds);
+  root_span->AddArg("cost", result.cost);
+  root_span->AddArg("algorithm", result.algorithm_used);
+  root_span.reset();
+  if (request.obs != ObsLevel::kOff) {
+    response.metrics = MetricsToJson(metrics.Snapshot());
+    response.trace_summary = TraceSummaryToJson(Tracer::Global().Summarize());
+  }
   return response;
 }
 

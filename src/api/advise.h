@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "api/events.h"
+#include "api/json.h"
 #include "cost/cost_coefficients.h"
 #include "cost/cost_model_spec.h"
 #include "engine/thread_pool.h"
 #include "lp/solve_stats.h"
+#include "obs/trace.h"
 #include "solver/advisor.h"
 #include "util/status.h"
 
@@ -93,6 +95,11 @@ struct AdviseRequest {
   /// into the CancellationToken deadline shared by every stage.
   double time_limit_seconds = 30.0;
   uint64_t seed = 1;
+  /// Observability budget for this request (see obs/trace.h): kOff mutes
+  /// spans entirely, kBasic (default) records lifecycle spans, kFull adds
+  /// hot-path spans (B&B nodes, LP solves/refactorizations). Applied to the
+  /// process-global tracer for the duration of the solve.
+  ObsLevel obs = ObsLevel::kBasic;
 
   IlpRequestOptions ilp;
   SaRequestOptions sa;
@@ -131,6 +138,13 @@ struct AdviseResponse {
   /// solves. Serialized under `telemetry.mip` in the JSON response.
   long bnb_nodes = 0;
   LpSolveStats lp_stats;
+  /// Observability snapshots captured at the end of the solve, serialized
+  /// under `telemetry.metrics` / `telemetry.trace_summary` in the JSON
+  /// response. Null objects when the request ran with obs = kOff. Both
+  /// reflect the process-global registry/recorder, so concurrent requests
+  /// see shared totals (documented in DESIGN.md).
+  JsonValue metrics;
+  JsonValue trace_summary;
 };
 
 /// Hooks threaded through a solve; every field is optional. `token` copies

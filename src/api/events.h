@@ -21,6 +21,12 @@ struct ProgressEvent {
   /// Emitting stage: "sa", "ilp", "incremental", "exhaustive", "portfolio",
   /// or "done" (the session's terminal event).
   std::string phase;
+  /// Monotonic position in the request's event stream, assigned centrally
+  /// by AdviseWithHooks: unique and dense (0..N-1) per request, with the
+  /// terminal "done" event carrying the largest value. Delivery order may
+  /// interleave across solver threads — consumers order by `seq`, not by
+  /// arrival.
+  long seq = 0;
   /// Seconds since the solve started.
   double elapsed = 0.0;
   /// Objective (4) of the best incumbent so far; +inf before the first.

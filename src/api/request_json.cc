@@ -160,6 +160,12 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
   long seed = static_cast<long>(request.seed);
   VPART_RETURN_IF_ERROR(reader.ReadLong("seed", &seed));
   request.seed = static_cast<uint64_t>(seed);
+  std::string obs_text;
+  VPART_RETURN_IF_ERROR(reader.ReadString("obs", &obs_text));
+  if (!obs_text.empty() && !ParseObsLevel(obs_text, &request.obs)) {
+    return InvalidArgumentError("\"obs\" must be \"off\", \"basic\", or "
+                                "\"full\" (got \"" + obs_text + "\")");
+  }
 
   if (const JsonValue* cost = reader.Find("cost")) {
     if (!cost->is_object()) {
@@ -366,6 +372,7 @@ JsonValue LpSolveStatsToJson(const LpSolveStats& stats) {
 JsonValue ProgressEventToJson(const ProgressEvent& event) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("phase", event.phase);
+  out.Set("seq", event.seq);
   out.Set("elapsed", event.elapsed);
   out.Set("best_cost", event.best_cost);  // non-finite -> null
   out.Set("bound", event.bound);
@@ -415,6 +422,14 @@ JsonValue AdviseResponseToJson(const Instance& instance,
   JsonValue mip = LpSolveStatsToJson(response.lp_stats);
   mip.Set("bnb_nodes", response.bnb_nodes);
   telemetry.Set("mip", std::move(mip));
+  // Observability snapshots ride as siblings of "mip" so its documented
+  // schema stays byte-identical; both are absent for obs=off requests.
+  if (response.metrics.is_object()) {
+    telemetry.Set("metrics", response.metrics);
+  }
+  if (response.trace_summary.is_object()) {
+    telemetry.Set("trace_summary", response.trace_summary);
+  }
   out.Set("telemetry", std::move(telemetry));
   if (emit_partitioning) {
     out.Set("partitioning", PartitioningToJson(instance, result.partitioning));

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace vpart {
 
 AdviseSession::AdviseSession(std::shared_ptr<const Instance> instance,
@@ -93,6 +95,16 @@ std::optional<IncumbentEvent> AdviseSession::BestIncumbent() const {
 }
 
 void AdviseSession::Run() {
+  // The session owns a dedicated thread: label its trace lane and wrap the
+  // whole request lifecycle in one span (the root of the flame chart).
+  Tracer::Global().SetCurrentThreadName("advise-session");
+  // Apply the request's obs level here as well as in AdviseWithHooks so
+  // the session span itself honours obs=off (nesting is harmless: the
+  // inner scope restores to this one's level, this one to the default).
+  ScopedObsLevel scoped_obs(request_.obs);
+  Span session_span("session", "session");
+  session_span.AddArg("instance", instance_->name());
+  session_span.AddArg("solver", request_.solver);
   AdviseHooks hooks;
   hooks.token = token_;
   hooks.user_cancelled = &user_cancelled_;

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "engine/portfolio.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/exhaustive_solver.h"
 #include "solver/ilp_solver.h"
 #include "solver/incremental_solver.h"
@@ -48,7 +52,16 @@ class ExhaustiveAdapter : public Solver {
                                 ? ctx.token.RemainingSeconds()
                                 : request.time_limit_seconds;
     ex.cancel_flag = ctx.token.flag();
+    std::optional<Span> enum_span;
+    enum_span.emplace("exhaustive_enumeration", "solver");
     ExhaustiveResult result = SolveExhaustively(cost_model, ex);
+    enum_span->AddArg("candidates", result.candidates);
+    enum_span->AddArg("exhausted", result.exhausted ? "true" : "false");
+    enum_span.reset();
+    static Counter& candidates_total = MetricsRegistry::Global().GetCounter(
+        "vpart_exhaustive_candidates_total",
+        "Assignments examined by exhaustive enumeration");
+    candidates_total.Add(result.candidates);
     if (!result.partitioning.has_value()) {
       if (!result.exhausted) {
         // Cancelled/expired before the first candidate: honor the
@@ -104,7 +117,22 @@ class SaAdapter : public Solver {
                                 : request.time_limit_seconds;
     sa.cancel_flag = ctx.token.flag();
     double best_seen = kInf;
+    // Each SaProgress tick marks the end of one anneal: turn the interval
+    // since the previous tick into an "sa_restart" span so restarts show as
+    // consecutive blocks on this thread's trace lane.
+    Tracer& tracer = Tracer::Global();
+    int64_t restart_start_us = tracer.NowMicros();
+    static Counter& restarts_total = MetricsRegistry::Global().GetCounter(
+        "vpart_sa_restarts_total", "SA anneals completed");
     sa.progress = [&](const SaProgress& progress) {
+      restarts_total.Increment();
+      if (tracer.Enabled(ObsLevel::kBasic)) {
+        const int64_t now_us = tracer.NowMicros();
+        tracer.RecordComplete("sa_restart", "solver", restart_start_us,
+                              now_us - restart_start_us,
+                              {{"restart", std::to_string(progress.restart)}});
+        restart_start_us = now_us;
+      }
       if (ctx.incumbent && progress.best_scalarized < best_seen &&
           progress.best != nullptr) {
         best_seen = progress.best_scalarized;
@@ -202,11 +230,17 @@ class IlpAdapter : public Solver {
                          request.time_limit_seconds / 4)
               : request.ilp.warm_start_seconds;
       warm_sa.cancel_flag = ctx.token.flag();
+      Span warm_span("ilp_warm_start", "solver");
       warm = SolveWithSa(cost_model, request.num_sites, warm_sa);
       ilp.warm_start = &warm.partitioning;
     }
 
+    std::optional<Span> bnb_span;
+    bnb_span.emplace("branch_and_bound", "solver");
     IlpSolveResult result = SolveWithIlp(cost_model, ilp);
+    bnb_span->AddArg("nodes", result.nodes);
+    bnb_span->AddArg("lp_solves", result.lp_stats.lp_solves);
+    bnb_span.reset();
     SolverRun run;
     run.bnb_nodes = result.nodes;
     run.lp_stats = result.lp_stats;
@@ -241,20 +275,37 @@ class IncrementalAdapter : public Solver {
                                      : request.time_limit_seconds) /
                                 2;
     inc.sa.cancel_flag = ctx.token.flag();
-    if (ctx.progress) {
-      inc.progress = [&](const IncrementalProgress& progress) {
-        ProgressEvent event;
-        event.phase = kSolverIncremental;
-        event.elapsed = progress.seconds;
-        // Intermediate rounds cover a transaction prefix, not a full
-        // incumbent; the final solution arrives as an incumbent event.
-        event.best_cost = kInf;
-        event.bound = -kInf;
-        event.gap = 100.0;
-        event.detail = progress.round;
-        ctx.progress(event);
-      };
-    }
+    // As in SaAdapter: a progress tick closes one growth round, so the
+    // inter-tick interval becomes an "incremental_round" span.
+    Tracer& tracer = Tracer::Global();
+    int64_t round_start_us = tracer.NowMicros();
+    static Counter& rounds_total = MetricsRegistry::Global().GetCounter(
+        "vpart_incremental_rounds_total",
+        "Incremental fold-in rounds completed");
+    inc.progress = [&](const IncrementalProgress& progress) {
+      rounds_total.Increment();
+      if (tracer.Enabled(ObsLevel::kBasic)) {
+        const int64_t now_us = tracer.NowMicros();
+        tracer.RecordComplete(
+            "incremental_round", "solver", round_start_us,
+            now_us - round_start_us,
+            {{"round", std::to_string(progress.round)},
+             {"covered", std::to_string(progress.covered) + "/" +
+                             std::to_string(progress.total)}});
+        round_start_us = now_us;
+      }
+      if (!ctx.progress) return;
+      ProgressEvent event;
+      event.phase = kSolverIncremental;
+      event.elapsed = progress.seconds;
+      // Intermediate rounds cover a transaction prefix, not a full
+      // incumbent; the final solution arrives as an incumbent event.
+      event.best_cost = kInf;
+      event.bound = -kInf;
+      event.gap = 100.0;
+      event.detail = progress.round;
+      ctx.progress(event);
+    };
     SaResult result =
         SolveIncrementally(cost_model, request.num_sites, inc);
     if (ctx.incumbent) {
@@ -296,6 +347,11 @@ class PortfolioAdapter : public Solver {
       portfolio.on_incumbent = [&](const Partitioning& p, double scalarized,
                                    double cost, const std::string& lane,
                                    double elapsed) {
+        static Counter& publications_total =
+            MetricsRegistry::Global().GetCounter(
+                "vpart_portfolio_incumbents_total",
+                "Incumbents published into the portfolio's shared best");
+        publications_total.Increment();
         const long n = ++publications;
         if (ctx.incumbent) {
           IncumbentEvent event;

@@ -7,6 +7,8 @@
 
 #include "api/advise.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -112,23 +114,36 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
     return InvalidArgumentError("num_sites must be >= 1");
   }
   Stopwatch watch;
+  ScopedObsLevel scoped_obs(request.obs);
+  Span batch_span("batch_advise", "batch");
+  batch_span.AddArg("instance", instance.name());
   StatusOr<std::vector<TableSubinstance>> split =
       SplitInstanceByTable(instance);
   VPART_RETURN_IF_ERROR(split.status());
   std::vector<TableSubinstance>& subs = *split;
 
   const int n = static_cast<int>(subs.size());
+  batch_span.AddArg("tables", static_cast<long>(n));
+  static Counter& tables_total = MetricsRegistry::Global().GetCounter(
+      "vpart_batch_tables_total", "Per-table solves run by batch advises");
   std::vector<std::optional<AdvisorResult>> results(n);
   std::vector<Status> statuses(n);
   int threads_used = 1;
   // Per-table solves go through the service API (one request template,
   // one registry resolution path) — the same pipeline AdviseSession runs.
+  // Each solve gets its own span on whichever pool lane picked it up, so
+  // traces show the per-table schedule across worker threads.
   {
     ThreadPool pool(batch.table_threads);
     threads_used = pool.size();
     ParallelFor(pool, 0, n, [&](int i) {
+      tables_total.Increment();
+      Span table_span("batch_table", "batch");
+      table_span.AddArg(
+          "table", instance.schema().table(subs[i].table_id).name);
       StatusOr<AdviseResponse> advised = Advise(subs[i].instance, request);
       if (advised.ok()) {
+        table_span.AddArg("cost", advised->result.cost);
         results[i] = std::move(advised->result);
       } else {
         statuses[i] = advised.status();

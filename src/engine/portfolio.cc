@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "engine/thread_pool.h"
+#include "obs/trace.h"
 #include "solver/ilp_solver.h"
 #include "solver/incremental_solver.h"
 #include "solver/sa_solver.h"
@@ -130,6 +131,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
   // leader and published back, until the deadline or the ILP's proof.
   auto sa_lane = [&]() {
     Stopwatch lane_watch;
+    Span lane_span("lane:sa", "portfolio");
     PortfolioLane lane;
     lane.name = "sa";
     uint64_t slice_seed = options.seed;
@@ -165,6 +167,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
   // --- Incremental lane: the §4 20/80 heuristic, one full run.
   auto incremental_lane = [&]() {
     Stopwatch lane_watch;
+    Span lane_span("lane:incremental", "portfolio");
     PortfolioLane lane;
     lane.name = "incremental";
     IncrementalOptions inc;
@@ -187,6 +190,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
   // its exhausted search is the portfolio's optimality proof.
   auto ilp_lane = [&]() {
     Stopwatch lane_watch;
+    Span lane_span("lane:ilp", "portfolio");
     PortfolioLane lane;
     lane.name = "ilp";
     IlpSolverOptions ilp;

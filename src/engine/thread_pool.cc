@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace vpart {
 namespace {
 
@@ -115,6 +117,9 @@ bool ThreadPool::TryPop(int worker, std::function<void()>& out) {
 void ThreadPool::WorkerLoop(int worker) {
   t_pool = this;
   t_worker = worker;
+  // Label this worker's trace lane so spans recorded from pool tasks
+  // (batch tables, portfolio lanes, B&B workers) group readably.
+  Tracer::Global().SetCurrentThreadName("pool-w" + std::to_string(worker));
   std::function<void()> task;
   while (true) {
     if (TryPop(worker, task)) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vpart {
@@ -237,6 +238,9 @@ void SimplexSolver::Ftran(std::vector<double>& w) const { factor_.Ftran(w); }
 void SimplexSolver::Btran(std::vector<double>& v) const { factor_.Btran(v); }
 
 bool SimplexSolver::Refactorize() {
+  // kFull-gated: refactorizations happen mid-pivot-loop; only deep traces
+  // pay for the span (one relaxed atomic load otherwise).
+  Span span("lp_refactorize", "lp", ObsLevel::kFull);
   if (!factor_.Factorize(col_start_, row_index_, value_, basis_, num_rows_)) {
     factor_synced_ = false;
     return false;
@@ -579,6 +583,7 @@ LpResult SimplexSolver::Solve() {
 }
 
 LpResult SimplexSolver::SolveWithRetry() {
+  Span span("lp_solve", "lp", ObsLevel::kFull);
   LpResult result = Solve();
   if (result.status == LpStatus::kNumericalFailure) {
     // One retry with tighter tolerances: a short Forrest–Tomlin update
@@ -891,6 +896,7 @@ LpStatus SimplexSolver::RunDual(long max_iterations) {
 }
 
 LpResult SimplexSolver::Reoptimize() {
+  Span span("lp_reoptimize", "lp", ObsLevel::kFull);
   ResetCallCounters();
   // Every bail-out below reports the same "warm path unusable" result;
   // the caller's ladder then falls back to a cold Solve().

@@ -9,10 +9,30 @@
 #include <set>
 
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace vpart {
+namespace {
+
+/// Shared by the serial and parallel searches; function-local statics keep
+/// the registry lookup off the per-node path.
+Counter& BnbNodesTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "vpart_bnb_nodes_total", "Branch & bound nodes processed");
+  return counter;
+}
+
+Histogram& NodeLpSeconds() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "vpart_node_lp_seconds", DefaultLatencyBounds(),
+      "Wall seconds per node-LP solve (warm or cold)");
+  return histogram;
+}
+
+}  // namespace
 
 const char* MipStatusName(MipStatus status) {
   switch (status) {
@@ -123,6 +143,7 @@ class NodeLpSolver {
     }
     ++delta.lp_solves;
     delta.lp_seconds = watch.ElapsedSeconds();
+    NodeLpSeconds().Observe(delta.lp_seconds);
     return lp;
   }
 
@@ -301,6 +322,7 @@ void BranchAndBound::Dive(std::vector<std::pair<double, double>> bounds,
   // Bounded number of re-solves; each dive step fixes one variable, so the
   // trail of optimal bases makes every step a single-bound-change dual
   // reoptimization.
+  Span dive_span("bnb_dive", "mip", ObsLevel::kFull);
   const int max_depth = model_.num_variables() + 8;
   Basis trail = node_lp_.warm_enabled() ? node_lp_.SaveBasis() : Basis();
   for (int depth = 0; depth < max_depth; ++depth) {
@@ -397,6 +419,12 @@ MipResult BranchAndBound::Run() {
     if (PruneBound(node.bound)) continue;
 
     ++result_.nodes;
+    BnbNodesTotal().Increment();
+    // Hot-path span: only recorded under full tracing (kFull gates the
+    // per-node cost to requests that asked for flame-chart depth).
+    Span node_span("bnb_node", "mip", ObsLevel::kFull);
+    node_span.AddArg("node", result_.nodes);
+    node_span.AddArg("bound", node.bound);
     if (options_.progress_node_interval > 0 &&
         result_.nodes % options_.progress_node_interval == 0) {
       EmitProgress(/*announce_incumbent=*/false);
@@ -689,6 +717,7 @@ bool ParallelBranchAndBound::GapClosedLocked() {
 void ParallelBranchAndBound::Dive(
     std::vector<std::pair<double, double>> bounds, LpResult lp,
     NodeLpSolver& lp_solver) {
+  Span dive_span("bnb_dive", "mip", ObsLevel::kFull);
   const int max_depth = model_.num_variables() + 8;
   Basis trail = lp_solver.warm_enabled() ? lp_solver.SaveBasis() : Basis();
   LpSolveStats dive_stats;
@@ -730,6 +759,10 @@ void ParallelBranchAndBound::ProcessNode(
     const std::shared_ptr<const PNode>& node,
     std::vector<std::pair<double, double>>& bounds,
     NodeLpSolver& lp_solver) {
+  BnbNodesTotal().Increment();
+  Span node_span("bnb_node", "mip", ObsLevel::kFull);
+  node_span.AddArg("node", node->id);
+  node_span.AddArg("bound", node->bound);
   MaterializeBounds(*node, bounds);
   LpSolveStats delta;
   LpResult lp =

@@ -1,0 +1,158 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vpart {
+namespace {
+
+/// Prometheus `le` label text for a bucket edge: shortest round-trip float
+/// form, "+Inf" for the overflow bucket.
+std::string LeLabel(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", bound);
+  return buffer;
+}
+
+void AppendHelpType(std::string& out, const std::string& name,
+                    const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const TraceSnapshot& snapshot) {
+  JsonValue doc = JsonValue::MakeObject();
+  JsonValue events = JsonValue::MakeArray();
+  // Thread-name metadata first: viewers apply 'M' records to label lanes.
+  for (const auto& [tid, name] : snapshot.threads) {
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", tid);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("name", name);
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (const TraceEvent& event : snapshot.events) {
+    JsonValue record = JsonValue::MakeObject();
+    record.Set("name", event.name);
+    record.Set("cat", event.category);
+    record.Set("ph", std::string(1, event.phase));
+    record.Set("ts", static_cast<double>(event.start_us));
+    if (event.phase == 'X') {
+      record.Set("dur", static_cast<double>(event.dur_us));
+    }
+    record.Set("pid", 1);
+    record.Set("tid", event.tid);
+    if (event.phase == 'i') record.Set("s", "t");  // thread-scoped instant
+    if (!event.args.empty()) {
+      JsonValue args = JsonValue::MakeObject();
+      for (const auto& [key, value] : event.args) {
+        args.Set(key, value);
+      }
+      record.Set("args", std::move(args));
+    }
+    events.Append(std::move(record));
+  }
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  if (snapshot.dropped > 0) {
+    JsonValue other = JsonValue::MakeObject();
+    other.Set("dropped_events", snapshot.dropped);
+    doc.Set("otherData", std::move(other));
+  }
+  return doc.Serialize(0);
+}
+
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& counter : snapshot.counters) {
+    AppendHelpType(out, counter.name, counter.help, "counter");
+    out += counter.name + " " + std::to_string(counter.value) + "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    AppendHelpType(out, gauge.name, gauge.help, "gauge");
+    out += gauge.name + " " + FormatDouble(gauge.value) + "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    AppendHelpType(out, histogram.name, histogram.help, "histogram");
+    for (size_t i = 0; i < histogram.cumulative.size(); ++i) {
+      const double bound = i < histogram.bounds.size()
+                               ? histogram.bounds[i]
+                               : std::numeric_limits<double>::infinity();
+      out += histogram.name + "_bucket{le=\"" + LeLabel(bound) + "\"} " +
+             std::to_string(histogram.cumulative[i]) + "\n";
+    }
+    out += histogram.name + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += histogram.name + "_count " + std::to_string(histogram.count) +
+           "\n";
+  }
+  return out;
+}
+
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonValue doc = JsonValue::MakeObject();
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& counter : snapshot.counters) {
+    counters.Set(counter.name, counter.value);
+  }
+  doc.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& gauge : snapshot.gauges) {
+    gauges.Set(gauge.name, gauge.value);
+  }
+  doc.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& histogram : snapshot.histograms) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("count", histogram.count);
+    entry.Set("sum", histogram.sum);
+    JsonValue buckets = JsonValue::MakeArray();
+    for (size_t i = 0; i < histogram.cumulative.size(); ++i) {
+      JsonValue bucket = JsonValue::MakeObject();
+      bucket.Set("le", i < histogram.bounds.size()
+                           ? LeLabel(histogram.bounds[i])
+                           : std::string("+Inf"));
+      bucket.Set("count", histogram.cumulative[i]);
+      buckets.Append(std::move(bucket));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms.Set(histogram.name, std::move(entry));
+  }
+  doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+JsonValue TraceSummaryToJson(const TraceSummary& summary) {
+  JsonValue doc = JsonValue::MakeObject();
+  JsonValue spans = JsonValue::MakeArray();
+  for (const TraceSummary::Row& row : summary.rows) {
+    JsonValue span = JsonValue::MakeObject();
+    span.Set("name", row.name);
+    span.Set("count", row.count);
+    span.Set("total_us", static_cast<double>(row.total_us));
+    span.Set("max_us", static_cast<double>(row.max_us));
+    spans.Append(std::move(span));
+  }
+  doc.Set("spans", std::move(spans));
+  doc.Set("dropped", summary.dropped);
+  return doc;
+}
+
+}  // namespace vpart

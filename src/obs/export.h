@@ -1,0 +1,34 @@
+#ifndef VPART_OBS_EXPORT_H_
+#define VPART_OBS_EXPORT_H_
+
+#include <string>
+
+#include "api/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vpart {
+
+/// Serializes a trace snapshot in Chrome Trace Event Format — a JSON
+/// document loadable in chrome://tracing and Perfetto. Spans become 'X'
+/// (complete) events, instant events 'i', and thread names are emitted as
+/// 'M' (metadata) records so each ring gets a labelled lane.
+std::string TraceToChromeJson(const TraceSnapshot& snapshot);
+
+/// Serializes a metrics snapshot in Prometheus text exposition format
+/// (# HELP / # TYPE preamble, cumulative `_bucket{le="..."}` series with
+/// `_sum`/`_count` for histograms).
+std::string MetricsToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON object for embedding in AdviseResponse as telemetry.metrics:
+/// {"counters": {name: value, ...}, "gauges": {...},
+///  "histograms": {name: {"count", "sum", "buckets": [{"le", "count"}]}}}.
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// JSON object for telemetry.trace_summary: per-span-name aggregates
+/// {"spans": [{"name", "count", "total_us", "max_us"}], "dropped": n}.
+JsonValue TraceSummaryToJson(const TraceSummary& summary);
+
+}  // namespace vpart
+
+#endif  // VPART_OBS_EXPORT_H_

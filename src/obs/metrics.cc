@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace vpart {
+namespace {
+
+std::atomic<unsigned> g_next_shard{0};
+
+}  // namespace
+
+namespace internal {
+
+unsigned MetricShardIndex() {
+  static thread_local unsigned shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+long Counter::Value() const {
+  long total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Gauge::Encode(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void Gauge::Add(double delta) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(observed,
+                                      Encode(Decode(observed) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      bucket_storage_(static_cast<size_t>(kMetricShards) *
+                      (bounds_.size() + 1)) {
+  const size_t per_shard = bounds_.size() + 1;
+  for (int s = 0; s < kMetricShards; ++s) {
+    cells_[s].buckets = bucket_storage_.data() + s * per_shard;
+  }
+}
+
+void Histogram::Observe(double value) {
+  Cell& cell = cells_[internal::MetricShardIndex()];
+  // Linear scan: bucket lists here are short (~12 edges) and branch-friendly.
+  size_t bucket = bounds_.size();  // +Inf by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  // Sum in integer nanounits so it stays a relaxed add (no CAS loop on the
+  // hot path). Good to ~9 significant digits, plenty for telemetry.
+  const long nano = static_cast<long>(std::llround(value * 1e9));
+  cell.sum_nano.fetch_add(nano, std::memory_order_relaxed);
+}
+
+std::vector<long> Histogram::CumulativeCounts() const {
+  const size_t per_shard = bounds_.size() + 1;
+  std::vector<long> per_bucket(per_shard, 0);
+  for (const Cell& cell : cells_) {
+    for (size_t i = 0; i < per_shard; ++i) {
+      per_bucket[i] += cell.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  // Prometheus buckets are cumulative: bucket i counts observations
+  // <= bounds[i], and the +Inf bucket equals the total count.
+  std::vector<long> cumulative(per_shard, 0);
+  long running = 0;
+  for (size_t i = 0; i < per_shard; ++i) {
+    running += per_bucket[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+long Histogram::Count() const {
+  long total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  long nano = 0;
+  for (const Cell& cell : cells_) {
+    nano += cell.sum_nano.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nano) * 1e-9;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumentation in static destructors (thread pools
+  // tearing down, logging) must never touch a destroyed registry.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Counter>& entry = counters_[name];
+  if (entry.metric == nullptr) {
+    entry.metric.reset(new Counter());
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Gauge>& entry = gauges_[name];
+  if (entry.metric == nullptr) {
+    entry.metric.reset(new Gauge());
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Histogram>& entry = histograms_[name];
+  if (entry.metric == nullptr) {
+    entry.metric.reset(new Histogram(std::move(bounds)));
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    snapshot.counters.push_back({name, entry.help, entry.metric->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, entry] : gauges_) {
+    snapshot.gauges.push_back({name, entry.help, entry.metric->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.bounds = entry.metric->bounds();
+    sample.cumulative = entry.metric->CumulativeCounts();
+    sample.count = entry.metric->Count();
+    sample.sum = entry.metric->Sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) {
+    (void)name;
+    for (Counter::Cell& cell : entry.metric->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, entry] : gauges_) {
+    (void)name;
+    entry.metric->Set(0.0);
+  }
+  for (auto& [name, entry] : histograms_) {
+    (void)name;
+    Histogram& h = *entry.metric;
+    for (std::atomic<long>& slot : h.bucket_storage_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+    for (Histogram::Cell& cell : h.cells_) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum_nano.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+          0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+}
+
+}  // namespace vpart

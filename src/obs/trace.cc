@@ -1,0 +1,259 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vpart {
+
+const char* ObsLevelName(ObsLevel level) {
+  switch (level) {
+    case ObsLevel::kOff:
+      return "off";
+    case ObsLevel::kBasic:
+      return "basic";
+    case ObsLevel::kFull:
+      return "full";
+  }
+  return "basic";
+}
+
+bool ParseObsLevel(const std::string& text, ObsLevel* out) {
+  if (text == "off") {
+    *out = ObsLevel::kOff;
+    return true;
+  }
+  if (text == "basic") {
+    *out = ObsLevel::kBasic;
+    return true;
+  }
+  if (text == "full") {
+    *out = ObsLevel::kFull;
+    return true;
+  }
+  return false;
+}
+
+/// Per-thread ring buffer. `events` grows on demand up to kRingCapacity,
+/// then wraps (next points at the oldest slot). All fields are guarded by
+/// `mu` — writers are uncontended (one thread owns each ring; only
+/// snapshots cross), so the lock is effectively free and keeps the whole
+/// recorder TSan-clean without atomics gymnastics.
+struct Tracer::Ring {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t next = 0;       // insertion cursor once the ring has wrapped
+  long total = 0;        // events ever recorded on this ring
+  int tid = 0;
+  std::string thread_name;
+
+  void Push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++total;
+    if (events.size() < Tracer::kRingCapacity) {
+      events.push_back(std::move(event));
+      return;
+    }
+    events[next] = std::move(event);
+    next = (next + 1) % events.size();
+  }
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+/// Cache of (tracer id -> ring) for the calling thread. Keyed by the
+/// tracer's unique id rather than its address so a destroyed-then-reused
+/// allocation can never alias a stale cache entry.
+struct ThreadRingCache {
+  uint64_t tracer_id = 0;
+  std::shared_ptr<Tracer::Ring> ring;
+};
+
+ThreadRingCache& Cache() {
+  static thread_local ThreadRingCache cache;
+  return cache;
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Global() {
+  // Leaked like MetricsRegistry::Global(): instrumented code may run during
+  // static destruction (e.g. pool teardown).
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Ring& Tracer::RingForThisThread() {
+  ThreadRingCache& cache = Cache();
+  if (cache.tracer_id == id_ && cache.ring != nullptr) return *cache.ring;
+  auto ring = std::make_shared<Ring>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring->tid = next_tid_++;
+    rings_.push_back(ring);
+  }
+  cache.tracer_id = id_;
+  cache.ring = ring;
+  return *ring;
+}
+
+void Tracer::RecordComplete(
+    std::string name, const char* category, int64_t start_us, int64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  Ring& ring = RingForThisThread();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.tid = ring.tid;
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  ring.Push(std::move(event));
+}
+
+void Tracer::RecordInstant(
+    std::string name, const char* category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  Ring& ring = RingForThisThread();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.tid = ring.tid;
+  event.start_us = NowMicros();
+  event.args = std::move(args);
+  ring.Push(std::move(event));
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  Ring& ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.thread_name = name;
+}
+
+TraceSnapshot Tracer::Snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  TraceSnapshot snapshot;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    snapshot.dropped +=
+        ring->total - static_cast<long>(ring->events.size());
+    snapshot.threads.emplace_back(
+        ring->tid, ring->thread_name.empty()
+                       ? "thread-" + std::to_string(ring->tid)
+                       : ring->thread_name);
+    for (const TraceEvent& event : ring->events) {
+      snapshot.events.push_back(event);
+    }
+  }
+  std::stable_sort(snapshot.events.begin(), snapshot.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return snapshot;
+}
+
+TraceSummary Tracer::Summarize() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::map<std::string, TraceSummary::Row> by_name;
+  long dropped = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    dropped += ring->total - static_cast<long>(ring->events.size());
+    for (const TraceEvent& event : ring->events) {
+      if (event.phase != 'X') continue;
+      TraceSummary::Row& row = by_name[event.name];
+      row.name = event.name;
+      ++row.count;
+      row.total_us += event.dur_us;
+      row.max_us = std::max(row.max_us, event.dur_us);
+    }
+  }
+  TraceSummary summary;
+  summary.dropped = dropped;
+  summary.rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    (void)name;
+    summary.rows.push_back(std::move(row));
+  }
+  return summary;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Empty each ring in place (rather than dropping the ring list) so rings
+  // cached in live threads' TLS stay registered and keep appearing in
+  // later snapshots.
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->total = 0;
+  }
+}
+
+Span::Span(std::string name, const char* category, ObsLevel at,
+           Tracer* tracer)
+    : tracer_(nullptr), category_(category) {
+  Tracer& t = tracer != nullptr ? *tracer : Tracer::Global();
+  if (!t.Enabled(at)) return;  // disabled: one relaxed load, no strings
+  tracer_ = &t;
+  name_ = std::move(name);
+  start_us_ = t.NowMicros();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const int64_t end_us = tracer_->NowMicros();
+  tracer_->RecordComplete(std::move(name_), category_, start_us_,
+                          end_us - start_us_, std::move(args_));
+}
+
+void Span::AddArg(const std::string& key, std::string value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void Span::AddArg(const std::string& key, long value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void Span::AddArg(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  args_.emplace_back(key, buffer);
+}
+
+ScopedObsLevel::ScopedObsLevel(ObsLevel level, Tracer* tracer)
+    : tracer_(tracer != nullptr ? tracer : &Tracer::Global()),
+      previous_(tracer_->level()) {
+  tracer_->SetLevel(level);
+}
+
+ScopedObsLevel::~ScopedObsLevel() { tracer_->SetLevel(previous_); }
+
+}  // namespace vpart

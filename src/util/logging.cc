@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace vpart {
 namespace {
 
@@ -57,6 +59,13 @@ LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
     const std::string line = stream_.str();
+    // Mirror the emitted line onto the trace timeline as an instant event,
+    // so log output lines up with the spans that surrounded it. Suppressed
+    // lines (below the active log level) stay off the trace too.
+    Tracer& tracer = Tracer::Global();
+    if (tracer.Enabled(ObsLevel::kBasic)) {
+      tracer.RecordInstant("log", "log", {{"message", line}});
+    }
     std::lock_guard<std::mutex> lock(SinkMutex());
     std::fprintf(stderr, "%s\n", line.c_str());
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -85,6 +86,42 @@ TEST(AdviseSessionTest, RunsToCompletionWithEventStream) {
   ASSERT_TRUE(shim.ok());
   EXPECT_DOUBLE_EQ(shim->cost, response->result.cost);
   EXPECT_EQ(shim->algorithm_used, response->result.algorithm_used);
+}
+
+TEST(AdviseSessionTest, ProgressEventSeqIsDenseAndOrdered) {
+  // Events are stamped with a monotonic per-request sequence number at the
+  // emission site, so consumers that receive them over an unordered
+  // transport can restore emission order. The stamps must be unique, dense
+  // (0..N-1 — nothing dropped), and the terminal "done" event must carry
+  // the largest seq.
+  Instance instance = MakeRandomInstance(Table1DefaultParams(6, /*seed=*/5));
+  AdviseRequest request;
+  request.solver = kSolverSa;
+  request.time_limit_seconds = 5.0;
+  request.sa.max_restarts = 4;
+  AdviseSession session(instance, request);
+  ASSERT_TRUE(session.Start().ok());
+  ASSERT_TRUE(session.Wait().ok());
+
+  const std::vector<ProgressEvent> events = session.Events();
+  ASSERT_GE(events.size(), 2u) << "need solver events plus done";
+  std::set<long> seqs;
+  long max_seq = -1;
+  for (const ProgressEvent& event : events) {
+    EXPECT_TRUE(seqs.insert(event.seq).second)
+        << "duplicate seq " << event.seq;
+    max_seq = std::max(max_seq, event.seq);
+  }
+  EXPECT_EQ(*seqs.begin(), 0) << "seq must start at 0";
+  EXPECT_EQ(max_seq, static_cast<long>(events.size()) - 1)
+      << "seq must be dense (no gaps)";
+  EXPECT_EQ(events.back().phase, "done");
+  EXPECT_EQ(events.back().seq, max_seq)
+      << "done must carry the largest seq";
+  // The recorded stream arrives in emission order: seq is ascending.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
 }
 
 TEST(AdviseSessionTest, CoOwnsSharedInstance) {

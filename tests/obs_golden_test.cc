@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/advise.h"
+#include "api/request_json.h"
+#include "instances/tpcc.h"
+#include "lp/solve_stats.h"
+#include "workload/instance.h"
+
+namespace vpart {
+namespace {
+
+/// Fully nonzero stats so a reordered, dropped, or renamed field cannot
+/// hide behind a zero that serializes the same either way.
+LpSolveStats KnownStats() {
+  LpSolveStats stats;
+  stats.lp_solves = 22;
+  stats.warm_starts = 21;
+  stats.cold_starts = 1;
+  stats.warm_start_failures = 2;
+  stats.primal_iterations = 568;
+  stats.phase1_iterations = 265;
+  stats.dual_iterations = 611;
+  stats.factorizations = 25;
+  stats.ft_updates = 1163;
+  stats.bound_flips = 63;
+  stats.se_resets = 131;
+  stats.refactor_updates = 7;
+  stats.refactor_fill = 3;
+  stats.refactor_stability = 4;
+  stats.lp_seconds = 0.125;  // exactly representable: serializes cleanly
+  return stats;
+}
+
+AdviseResponse KnownResponse() {
+  AdviseResponse response;
+  response.solver_used = "ilp";
+  response.cost_model_used = "paper";
+  response.lp_stats = KnownStats();
+  response.bnb_nodes = 19;
+  return response;
+}
+
+/// The documented telemetry.mip schema, serialized. This string is the
+/// contract: the observability layer added sibling keys (metrics,
+/// trace_summary) next to "mip" and must never change "mip" itself — not
+/// a field, not an order, not a formatting detail.
+constexpr const char* kGoldenMip =
+    "{\"lp_solves\":22,\"warm_starts\":21,\"cold_starts\":1,"
+    "\"warm_start_failures\":2,\"primal_iterations\":568,"
+    "\"phase1_iterations\":265,\"dual_iterations\":611,"
+    "\"total_iterations\":1179,\"factorizations\":25,"
+    "\"ft_updates\":1163,\"bound_flips\":63,\"se_resets\":131,"
+    "\"refactor_updates\":7,\"refactor_fill\":3,"
+    "\"refactor_stability\":4,\"lp_seconds\":0.125,"
+    "\"bnb_nodes\":19}";
+
+TEST(ObsGoldenTest, TelemetryMipIsByteIdenticalToPreObsSchema) {
+  Instance tpcc = MakeTpccInstance();
+  const AdviseResponse response = KnownResponse();
+  JsonValue out = AdviseResponseToJson(tpcc, response,
+                                       /*emit_partitioning=*/false, {});
+  const JsonValue* telemetry = out.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const JsonValue* mip = telemetry->Find("mip");
+  ASSERT_NE(mip, nullptr);
+  EXPECT_EQ(mip->Serialize(), kGoldenMip);
+}
+
+TEST(ObsGoldenTest, ObsSnapshotsRideAsSiblingsWithoutTouchingMip) {
+  Instance tpcc = MakeTpccInstance();
+  AdviseResponse response = KnownResponse();
+  // Simulate an obs-enabled solve: the response carries snapshots.
+  response.metrics = JsonValue::MakeObject();
+  response.metrics.Set("counters", JsonValue::MakeObject());
+  response.trace_summary = JsonValue::MakeObject();
+  JsonValue out = AdviseResponseToJson(tpcc, response,
+                                       /*emit_partitioning=*/false, {});
+  const JsonValue* telemetry = out.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_NE(telemetry->Find("metrics"), nullptr);
+  EXPECT_NE(telemetry->Find("trace_summary"), nullptr);
+  const JsonValue* mip = telemetry->Find("mip");
+  ASSERT_NE(mip, nullptr);
+  EXPECT_EQ(mip->Serialize(), kGoldenMip)
+      << "sibling telemetry keys must not perturb the mip object";
+}
+
+TEST(ObsGoldenTest, ObsOffOmitsSnapshotKeys) {
+  Instance tpcc = MakeTpccInstance();
+  const AdviseResponse response = KnownResponse();  // metrics left null
+  JsonValue out = AdviseResponseToJson(tpcc, response,
+                                       /*emit_partitioning=*/false, {});
+  const JsonValue* telemetry = out.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->Find("metrics"), nullptr);
+  EXPECT_EQ(telemetry->Find("trace_summary"), nullptr);
+}
+
+}  // namespace
+}  // namespace vpart

@@ -1,0 +1,304 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.h"
+#include "obs/export.h"
+
+namespace vpart {
+namespace {
+
+TEST(ObsLevelTest, ParseAndName) {
+  ObsLevel level = ObsLevel::kOff;
+  EXPECT_TRUE(ParseObsLevel("basic", &level));
+  EXPECT_EQ(level, ObsLevel::kBasic);
+  EXPECT_TRUE(ParseObsLevel("off", &level));
+  EXPECT_EQ(level, ObsLevel::kOff);
+  EXPECT_TRUE(ParseObsLevel("full", &level));
+  EXPECT_EQ(level, ObsLevel::kFull);
+  EXPECT_FALSE(ParseObsLevel("verbose", &level));
+  EXPECT_FALSE(ParseObsLevel("", &level));
+  EXPECT_STREQ(ObsLevelName(ObsLevel::kOff), "off");
+  EXPECT_STREQ(ObsLevelName(ObsLevel::kBasic), "basic");
+  EXPECT_STREQ(ObsLevelName(ObsLevel::kFull), "full");
+}
+
+TEST(TracerTest, SpanRecordsCompleteEvent) {
+  Tracer tracer;
+  {
+    Span span("work", "test", ObsLevel::kBasic, &tracer);
+    ASSERT_TRUE(span.enabled());
+    span.AddArg("key", std::string("value"));
+    span.AddArg("count", 7L);
+    span.AddArg("ratio", 0.5);
+  }
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  const TraceEvent& event = snapshot.events[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_STREQ(event.category, "test");
+  EXPECT_EQ(event.phase, 'X');
+  EXPECT_GE(event.dur_us, 0);
+  ASSERT_EQ(event.args.size(), 3u);
+  EXPECT_EQ(event.args[0].second, "value");
+  EXPECT_EQ(event.args[1].second, "7");
+  EXPECT_EQ(event.args[2].second, "0.5");
+}
+
+TEST(TracerTest, LevelGatesSpansAndInstants) {
+  Tracer tracer;
+  tracer.SetLevel(ObsLevel::kOff);
+  {
+    Span span("muted", "test", ObsLevel::kBasic, &tracer);
+    EXPECT_FALSE(span.enabled());
+    span.AddArg("ignored", 1L);  // must be a safe no-op
+  }
+  EXPECT_TRUE(tracer.Snapshot().events.empty());
+
+  tracer.SetLevel(ObsLevel::kBasic);
+  { Span span("basic", "test", ObsLevel::kBasic, &tracer); }
+  { Span span("deep", "test", ObsLevel::kFull, &tracer); }  // still gated
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].name, "basic");
+
+  tracer.SetLevel(ObsLevel::kFull);
+  { Span span("deep", "test", ObsLevel::kFull, &tracer); }
+  EXPECT_EQ(tracer.Snapshot().events.size(), 2u);
+}
+
+TEST(TracerTest, ScopedObsLevelRestores) {
+  Tracer tracer;
+  tracer.SetLevel(ObsLevel::kBasic);
+  {
+    ScopedObsLevel outer(ObsLevel::kOff, &tracer);
+    EXPECT_EQ(tracer.level(), ObsLevel::kOff);
+    {
+      ScopedObsLevel inner(ObsLevel::kFull, &tracer);
+      EXPECT_EQ(tracer.level(), ObsLevel::kFull);
+    }
+    EXPECT_EQ(tracer.level(), ObsLevel::kOff);
+  }
+  EXPECT_EQ(tracer.level(), ObsLevel::kBasic);
+}
+
+TEST(TracerTest, ThreadsGetDistinctLanesAndNames) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t]() {
+      tracer.SetCurrentThreadName("lane-" + std::to_string(t));
+      Span span("work", "test", ObsLevel::kBasic, &tracer);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.events.size(), static_cast<size_t>(kThreads));
+  std::set<int> tids;
+  for (const TraceEvent& event : snapshot.events) tids.insert(event.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads))
+      << "each thread must land on its own lane";
+  std::set<std::string> names;
+  for (const auto& [tid, name] : snapshot.threads) names.insert(name);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(names.count("lane-" + std::to_string(t)));
+  }
+}
+
+TEST(TracerTest, ConcurrentSpansAllRecordedAndSorted) {
+  // N threads x M spans with no ring wrap: every event lands, none
+  // dropped, and the snapshot comes back sorted by start time.
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;  // well under kRingCapacity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer]() {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("work", "test", ObsLevel::kBasic, &tracer);
+        span.AddArg("i", static_cast<long>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(snapshot.dropped, 0);
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.events.begin(), snapshot.events.end(),
+      [](const TraceEvent& a, const TraceEvent& b) {
+        return a.start_us < b.start_us;
+      }));
+}
+
+TEST(TracerTest, SnapshotDuringConcurrentWritesIsSafe) {
+  // The flight-recorder contract: snapshots may run while writers record.
+  // Sizes only grow (no wrap here) and every observed event is complete.
+  Tracer tracer;
+  constexpr int kWriters = 4;
+  constexpr int kSpansPerThread = 500;
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tracer, &running]() {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("work", "test", ObsLevel::kBasic, &tracer);
+      }
+      running.fetch_sub(1);
+    });
+  }
+  while (running.load() > 0) {
+    TraceSnapshot snapshot = tracer.Snapshot();
+    EXPECT_LE(snapshot.events.size(),
+              static_cast<size_t>(kWriters) * kSpansPerThread);
+    for (const TraceEvent& event : snapshot.events) {
+      EXPECT_EQ(event.name, "work");
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(tracer.Snapshot().events.size(),
+            static_cast<size_t>(kWriters) * kSpansPerThread);
+}
+
+TEST(TracerTest, RingWrapsAndCountsDropped) {
+  Tracer tracer;
+  const int kOverfill = static_cast<int>(Tracer::kRingCapacity) + 100;
+  for (int i = 0; i < kOverfill; ++i) {
+    tracer.RecordComplete("e" + std::to_string(i), "test", i, 1, {});
+  }
+  TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.events.size(), Tracer::kRingCapacity);
+  EXPECT_EQ(snapshot.dropped, 100);
+  // The survivors are the newest events, still in order.
+  EXPECT_EQ(snapshot.events.front().name, "e100");
+  EXPECT_EQ(snapshot.events.back().name,
+            "e" + std::to_string(kOverfill - 1));
+}
+
+TEST(TracerTest, SummarizeAggregatesPerName) {
+  Tracer tracer;
+  tracer.RecordComplete("a", "test", 0, 10, {});
+  tracer.RecordComplete("a", "test", 10, 30, {});
+  tracer.RecordComplete("b", "test", 40, 5, {});
+  tracer.RecordInstant("note", "test", {});  // instants are not spans
+  TraceSummary summary = tracer.Summarize();
+  ASSERT_EQ(summary.rows.size(), 2u);
+  EXPECT_EQ(summary.rows[0].name, "a");
+  EXPECT_EQ(summary.rows[0].count, 2);
+  EXPECT_EQ(summary.rows[0].total_us, 40);
+  EXPECT_EQ(summary.rows[0].max_us, 30);
+  EXPECT_EQ(summary.rows[1].name, "b");
+  EXPECT_EQ(summary.rows[1].count, 1);
+}
+
+TEST(TracerTest, ClearEmptiesButKeepsRecording) {
+  Tracer tracer;
+  { Span span("before", "test", ObsLevel::kBasic, &tracer); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().events.empty());
+  EXPECT_EQ(tracer.Snapshot().dropped, 0);
+  // The calling thread's TLS-cached ring must still be registered.
+  { Span span("after", "test", ObsLevel::kBasic, &tracer); }
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].name, "after");
+}
+
+TEST(TracerTest, InstantEventsCarryArgs) {
+  Tracer tracer;
+  tracer.RecordInstant("log", "log", {{"message", "hello"}});
+  TraceSnapshot snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].phase, 'i');
+  EXPECT_EQ(snapshot.events[0].dur_us, 0);
+  ASSERT_EQ(snapshot.events[0].args.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].args[0].second, "hello");
+}
+
+TEST(ExportTest, ChromeJsonIsValidAndStructured) {
+  Tracer tracer;
+  tracer.SetCurrentThreadName("main");
+  {
+    Span span("outer", "test", ObsLevel::kBasic, &tracer);
+    span.AddArg("k", std::string("v"));
+    { Span inner("inner", "test", ObsLevel::kBasic, &tracer); }
+  }
+  tracer.RecordInstant("mark", "test", {});
+  const std::string json = TraceToChromeJson(tracer.Snapshot());
+  StatusOr<JsonValue> parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Metadata record first (thread name), then the recorded events.
+  bool saw_meta = false, saw_outer = false, saw_instant = false;
+  for (const JsonValue& event : events->as_array()) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() == "M") saw_meta = true;
+    if (ph->as_string() == "X" &&
+        event.Find("name")->as_string() == "outer") {
+      saw_outer = true;
+      EXPECT_NE(event.Find("dur"), nullptr);
+      EXPECT_EQ(event.Find("args")->Find("k")->as_string(), "v");
+    }
+    if (ph->as_string() == "i") saw_instant = true;
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(ExportTest, PrometheusTextHasTypeHelpAndBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("vpart_test_total", "a counter").Add(3);
+  registry.GetGauge("vpart_test_gauge", "a gauge").Set(1.5);
+  Histogram& histogram =
+      registry.GetHistogram("vpart_test_seconds", {0.1, 1.0}, "a histogram");
+  histogram.Observe(0.05);
+  histogram.Observe(0.5);
+  histogram.Observe(2.0);
+  const std::string text = MetricsToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE vpart_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP vpart_test_total a counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpart_test_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vpart_test_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("vpart_test_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vpart_test_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpart_test_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpart_test_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpart_test_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpart_test_seconds_count 3"), std::string::npos);
+}
+
+TEST(ExportTest, MetricsJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Add(2);
+  registry.GetHistogram("h_seconds", {1.0}).Observe(0.5);
+  JsonValue json = MetricsToJson(registry.Snapshot());
+  ASSERT_TRUE(json.is_object());
+  const JsonValue* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(static_cast<long>(counters->Find("c_total")->as_number()), 2);
+  const JsonValue* histogram = json.Find("histograms")->Find("h_seconds");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(static_cast<long>(histogram->Find("count")->as_number()), 1);
+}
+
+}  // namespace
+}  // namespace vpart

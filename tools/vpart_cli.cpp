@@ -6,6 +6,7 @@
 //
 //   $ ./build/vpart_cli request.json          # read request from a file
 //   $ ./build/vpart_cli < request.json        # ... or from stdin
+//   $ ./build/vpart_cli --trace out.json -    # ... plus a Chrome trace dump
 //   $ ./build/vpart_cli --template            # print a starter request
 //   $ ./build/vpart_cli --help
 //
@@ -21,6 +22,9 @@
 #include "api/solver_registry.h"
 #include "cost/cost_model_registry.h"
 #include "engine/batch_advisor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace {
@@ -36,20 +40,39 @@ constexpr const char* kTemplate = R"({
   "cost_model": {"backend": "paper"},
   "time_limit_seconds": 5,
   "emit_partitioning": true,
-  "emit_events": false
+  "emit_events": false,
+  "obs": "basic"
 })";
+
+/// Parsed command line: optional flags plus at most one request source.
+struct CliArgs {
+  std::string request_path;  // empty or "-" = stdin
+  std::string trace_path;    // --trace: Chrome Trace Event JSON dump
+  std::string metrics_path;  // --metrics: Prometheus text dump
+  std::string obs_text;      // --obs: overrides the request's "obs" key
+  bool help = false;
+  bool print_template = false;
+};
 
 void PrintHelp() {
   std::printf(
-      "usage: vpart_cli [request.json]\n"
+      "usage: vpart_cli [options] [request.json]\n"
       "\n"
       "Reads a JSON advise request (from the given file, or stdin when no\n"
       "file is given), runs it through the solver registry, and prints a\n"
       "JSON response to stdout.\n"
       "\n"
       "options:\n"
-      "  --template   print a starter request and exit\n"
-      "  --help       this text\n"
+      "  --trace <file.json>   dump the run's flight-recorder spans as\n"
+      "                        Chrome Trace Event JSON (load the file in\n"
+      "                        chrome://tracing or Perfetto). Implies\n"
+      "                        --obs full unless --obs is given.\n"
+      "  --metrics <file>      dump the metrics registry in Prometheus\n"
+      "                        text exposition format after the solve\n"
+      "  --obs off|basic|full  observability level; overrides the\n"
+      "                        request's \"obs\" key\n"
+      "  --template            print a starter request and exit\n"
+      "  --help                this text\n"
       "\n"
       "registered solvers: auto, %s\n"
       "registered cost models: %s\n"
@@ -64,6 +87,7 @@ void PrintHelp() {
       "  time_limit_seconds    whole-request wall clock\n"
       "  batch                 true = one solve per table (whole schema)\n"
       "  emit_events           true = include the progress-event stream\n"
+      "  obs                   \"off\"|\"basic\"|\"full\" span recording\n"
       "\n"
       "response telemetry: every document carries telemetry.mip — the\n"
       "branch & bound's node count and node-LP solve statistics\n"
@@ -72,7 +96,9 @@ void PrintHelp() {
       "refactor_* trigger counters, lp_seconds; all zero for\n"
       "pure-heuristic solves — field reference in README.md). With\n"
       "emit_events, ilp progress events carry the same counters under\n"
-      "\"lp\" as they accumulate.\n",
+      "\"lp\" as they accumulate, each stamped with a monotonic \"seq\".\n"
+      "Unless obs is \"off\", telemetry.metrics and telemetry.trace_summary\n"
+      "carry the process metrics snapshot and per-span aggregates.\n",
       JoinStrings(SolverRegistry::Global().Names(), ", ").c_str(),
       JoinStrings(CostModelRegistry::Global().Names(), ", ").c_str());
 }
@@ -87,12 +113,49 @@ std::string ReadAll(std::FILE* in) {
   return text;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), out);
+  std::fclose(out);
+  return written == content.size();
+}
+
+/// Dumps --trace / --metrics files after the solve; failures downgrade the
+/// exit code to 1 but never discard the already-printed response.
+int DumpObsFiles(const CliArgs& args) {
+  int rc = 0;
+  if (!args.trace_path.empty()) {
+    const std::string trace =
+        TraceToChromeJson(Tracer::Global().Snapshot());
+    if (!WriteFile(args.trace_path, trace)) rc = 1;
+  }
+  if (!args.metrics_path.empty()) {
+    const std::string text =
+        MetricsToPrometheusText(MetricsRegistry::Global().Snapshot());
+    if (!WriteFile(args.metrics_path, text)) rc = 1;
+  }
+  return rc;
+}
+
 int RunBatch(const Instance& instance, const CliRequest& cli) {
   BatchAdviseRequest batch;
   batch.request = cli.request;
   batch.request.num_threads = 1;  // concurrency goes across tables
   batch.table_threads = cli.request.num_threads;
-  StatusOr<BatchAdvisorResult> advised = AdviseSchema(instance, batch);
+  // The batch path has no AdviseSession; the CLI run is the session, so
+  // give the trace the same root span the session path records.
+  Tracer::Global().SetCurrentThreadName("advise-session");
+  ScopedObsLevel scoped_obs(cli.request.obs);
+  StatusOr<BatchAdvisorResult> advised = [&]() {
+    Span session_span("session", "session");
+    session_span.AddArg("instance", instance.name());
+    session_span.AddArg("mode", std::string("batch"));
+    return AdviseSchema(instance, batch);
+  }();
   if (!advised.ok()) {
     std::fprintf(stderr, "batch advise failed: %s\n",
                  advised.status().ToString().c_str());
@@ -128,16 +191,36 @@ int RunBatch(const Instance& instance, const CliRequest& cli) {
   out.Set("combined", std::move(combined));
   out.Set("threads_used", advised->threads_used);
   out.Set("seconds", advised->seconds);
+  if (cli.request.obs != ObsLevel::kOff) {
+    JsonValue telemetry = JsonValue::MakeObject();
+    telemetry.Set("metrics",
+                  MetricsToJson(MetricsRegistry::Global().Snapshot()));
+    telemetry.Set("trace_summary",
+                  TraceSummaryToJson(Tracer::Global().Summarize()));
+    out.Set("telemetry", std::move(telemetry));
+  }
   std::printf("%s\n", out.Serialize(2).c_str());
   return 0;
 }
 
-int Run(const std::string& request_text) {
+int Run(const CliArgs& args, const std::string& request_text) {
   StatusOr<CliRequest> cli = ParseCliRequest(request_text);
   if (!cli.ok()) {
     std::fprintf(stderr, "bad request: %s\n",
                  cli.status().ToString().c_str());
     return 2;
+  }
+  // --obs beats the request's "obs" key; --trace without an explicit --obs
+  // raises to full so the dump actually contains the deep spans (B&B
+  // nodes, LP solves) a trace reader comes for.
+  if (!args.obs_text.empty()) {
+    if (!ParseObsLevel(args.obs_text, &cli->request.obs)) {
+      std::fprintf(stderr, "--obs must be off, basic, or full (got %s)\n",
+                   args.obs_text.c_str());
+      return 2;
+    }
+  } else if (!args.trace_path.empty()) {
+    cli->request.obs = ObsLevel::kFull;
   }
   StatusOr<Instance> instance = LoadCliInstance(*cli);
   if (!instance.ok()) {
@@ -145,7 +228,11 @@ int Run(const std::string& request_text) {
                  instance.status().ToString().c_str());
     return 2;
   }
-  if (cli->batch) return RunBatch(*instance, *cli);
+  if (cli->batch) {
+    const int rc = RunBatch(*instance, *cli);
+    const int dump_rc = DumpObsFiles(args);
+    return rc != 0 ? rc : dump_rc;
+  }
 
   // Run through an AdviseSession so the CLI exercises the same async path
   // a service embedding would, and can replay the recorded event stream.
@@ -167,44 +254,69 @@ int Run(const std::string& request_text) {
   JsonValue out = AdviseResponseToJson(*instance, *response,
                                        cli->emit_partitioning, events);
   std::printf("%s\n", out.Serialize(2).c_str());
-  return 0;
+  return DumpObsFiles(args);
+}
+
+/// Parses argv; returns false (usage error) after printing a message.
+bool ParseArgs(int argc, char** argv, CliArgs& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&](const char* flag, std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value (try --help)\n", flag);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      args.help = true;
+    } else if (std::strcmp(arg, "--template") == 0) {
+      args.print_template = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (!next_value("--trace", &args.trace_path)) return false;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      if (!next_value("--metrics", &args.metrics_path)) return false;
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      if (!next_value("--obs", &args.obs_text)) return false;
+    } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return false;
+    } else {
+      if (!args.request_path.empty()) {
+        std::fprintf(stderr, "too many arguments (try --help)\n");
+        return false;
+      }
+      args.request_path = arg;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string request_text;
-  if (argc > 2) {
-    std::fprintf(stderr, "too many arguments (try --help)\n");
-    return 2;
+  CliArgs args;
+  if (!ParseArgs(argc, argv, args)) return 2;
+  if (args.help) {
+    PrintHelp();
+    return 0;
   }
-  if (argc == 2) {
-    if (std::strcmp(argv[1], "--help") == 0 ||
-        std::strcmp(argv[1], "-h") == 0) {
-      PrintHelp();
-      return 0;
-    }
-    if (std::strcmp(argv[1], "--template") == 0) {
-      std::printf("%s\n", kTemplate);
-      return 0;
-    }
-    if (argv[1][0] == '-' && std::strcmp(argv[1], "-") != 0) {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[1]);
+  if (args.print_template) {
+    std::printf("%s\n", kTemplate);
+    return 0;
+  }
+  std::string request_text;
+  if (args.request_path.empty() || args.request_path == "-") {
+    request_text = ReadAll(stdin);
+  } else {
+    std::FILE* in = std::fopen(args.request_path.c_str(), "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "cannot read %s\n", args.request_path.c_str());
       return 2;
     }
-    if (std::strcmp(argv[1], "-") == 0) {
-      request_text = ReadAll(stdin);
-    } else {
-      std::FILE* in = std::fopen(argv[1], "r");
-      if (in == nullptr) {
-        std::fprintf(stderr, "cannot read %s\n", argv[1]);
-        return 2;
-      }
-      request_text = ReadAll(in);
-      std::fclose(in);
-    }
-  } else {
-    request_text = ReadAll(stdin);
+    request_text = ReadAll(in);
+    std::fclose(in);
   }
-  return Run(request_text);
+  return Run(args, request_text);
 }
