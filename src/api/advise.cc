@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "check/certifier.h"
 #include "cost/cost_model_registry.h"
 #include "cost/latency_decorator.h"
 #include "obs/export.h"
@@ -297,6 +298,9 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   response.cost_model_used = request.cost_model.backend;
   response.bnb_nodes = run->bnb_nodes;
   response.lp_stats = run->lp_stats;
+  response.best_bound = run->best_bound;
+  response.search_exhausted = run->search_exhausted;
+  response.pruned_by_external_bound = run->pruned_by_external_bound;
   if (hooks.user_cancelled != nullptr &&
       hooks.user_cancelled->load(std::memory_order_relaxed)) {
     response.outcome = AdviseOutcome::kCancelled;
@@ -319,6 +323,29 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
     hooks.progress(done);
   }
   response.progress_events = progress_events.load(std::memory_order_relaxed);
+
+  // Independent post-solve certification: on request always, in debug
+  // builds unconditionally (every test solve re-verifies for free). A
+  // failure is an InternalError — a response that does not certify never
+  // reaches the caller.
+#ifndef NDEBUG
+  constexpr bool kAlwaysCertify = true;
+#else
+  constexpr bool kAlwaysCertify = false;
+#endif
+  if (request.certify || kAlwaysCertify) {
+    Span certify_span("certify", "api");
+    const SolutionCertifier certifier;
+    const CertificationReport report =
+        certifier.Certify(instance, request, response);
+    certify_span.AddArg("checks", report.checks_run);
+    if (!report.certified) {
+      VPART_LOG(Error) << "certifier: " << report.Summary();
+      return InternalError("solution failed certification: " +
+                           report.Summary());
+    }
+    response.certified = true;
+  }
 
   // Fold the solve's LP statistics into the process-lifetime metrics and
   // close the root span so this request's spans are visible in its own

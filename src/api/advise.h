@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "api/events.h"
 #include "api/json.h"
+#include "check/audit.h"
 #include "cost/cost_coefficients.h"
 #include "cost/cost_model_spec.h"
 #include "engine/thread_pool.h"
@@ -34,6 +36,12 @@ struct IlpRequestOptions {
   /// Wall clock of the quick SA warm start that seeds the branch & bound;
   /// <= 0 disables warm starting.
   double warm_start_seconds = 2.0;
+  /// Node-LP invariant-audit level (check/audit.h): residual checks after
+  /// refactorizations (and, at "full", periodically between them),
+  /// basis-header checks on every warm-start load, pricing-weight
+  /// positivity. Failures surface as telemetry.mip.audit_failures. Off by
+  /// default — "off" keeps the telemetry schema byte-identical.
+  AuditLevel lp_audit = AuditLevel::kOff;
 };
 
 struct SaRequestOptions {
@@ -95,6 +103,13 @@ struct AdviseRequest {
   /// into the CancellationToken deadline shared by every stage.
   double time_limit_seconds = 30.0;
   uint64_t seed = 1;
+  /// Run the independent SolutionCertifier (check/certifier.h) over the
+  /// response before returning it: partition structure, long-double cost
+  /// recomputation through a freshly built cost model, and the B&B bound
+  /// audit. A certification failure turns the response into an
+  /// InternalError — a wrong "optimal" answer never reaches the caller.
+  /// Debug builds certify every response regardless of this flag.
+  bool certify = false;
   /// Observability budget for this request (see obs/trace.h): kOff mutes
   /// spans entirely, kBasic (default) records lifecycle spans, kFull adds
   /// hot-path spans (B&B nodes, LP solves/refactorizations). Applied to the
@@ -138,6 +153,19 @@ struct AdviseResponse {
   /// solves. Serialized under `telemetry.mip` in the JSON response.
   long bnb_nodes = 0;
   LpSolveStats lp_stats;
+  /// Dual bound and proof provenance behind result.proven_optimal (mirrors
+  /// SolverRun): best_bound is in scalarized (eq. 6) space of the solved
+  /// (possibly attribute-grouped) instance, -inf when no branch & bound
+  /// ran. search_exhausted marks a finished tree search (or a complete
+  /// exhaustive enumeration); pruned_by_external_bound marks proofs that
+  /// leaned on the portfolio's shared incumbent bound.
+  double best_bound = -std::numeric_limits<double>::infinity();
+  bool search_exhausted = false;
+  bool pruned_by_external_bound = false;
+  /// True when the SolutionCertifier re-verified this response (request
+  /// certify flag or a debug build). Serialized as `certified` in the JSON
+  /// response — absent entirely when certification did not run.
+  bool certified = false;
   /// Observability snapshots captured at the end of the solve, serialized
   /// under `telemetry.metrics` / `telemetry.trace_summary` in the JSON
   /// response. Null objects when the request ran with obs = kOff. Both

@@ -151,7 +151,14 @@ StatusOr<JsonValue> Parser::ParseNumber() {
     while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
   }
   const std::string token(text.substr(start, pos - start));
-  return JsonValue(std::strtod(token.c_str(), nullptr));
+  const double value = std::strtod(token.c_str(), nullptr);
+  // strtod saturates "1e999"-style tokens to +/-HUGE_VAL. A non-finite
+  // number has no JSON representation and would poison downstream math, so
+  // reject it here rather than letting it masquerade as a parsed value.
+  if (!std::isfinite(value)) {
+    return Error("number out of range");
+  }
+  return JsonValue(value);
 }
 
 StatusOr<JsonValue> Parser::ParseValue(int depth) {

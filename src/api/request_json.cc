@@ -166,6 +166,7 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
     return InvalidArgumentError("\"obs\" must be \"off\", \"basic\", or "
                                 "\"full\" (got \"" + obs_text + "\")");
   }
+  VPART_RETURN_IF_ERROR(reader.ReadBool("certify", &request.certify));
 
   if (const JsonValue* cost = reader.Find("cost")) {
     if (!cost->is_object()) {
@@ -228,6 +229,14 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
         ilp_reader.ReadBool("enable_dive", &request.ilp.enable_dive));
     VPART_RETURN_IF_ERROR(ilp_reader.ReadDouble(
         "warm_start_seconds", &request.ilp.warm_start_seconds));
+    std::string audit_text;
+    VPART_RETURN_IF_ERROR(ilp_reader.ReadString("audit", &audit_text));
+    if (!audit_text.empty() &&
+        !ParseAuditLevel(audit_text, &request.ilp.lp_audit)) {
+      return InvalidArgumentError(
+          "\"ilp.audit\" must be \"off\", \"cheap\", or \"full\" (got \"" +
+          audit_text + "\")");
+    }
     VPART_RETURN_IF_ERROR(ilp_reader.CheckNoUnknownKeys());
   }
   if (const JsonValue* sa = reader.Find("sa")) {
@@ -363,6 +372,13 @@ JsonValue LpSolveStatsToJson(const LpSolveStats& stats) {
   out.Set("refactor_updates", stats.refactor_updates);
   out.Set("refactor_fill", stats.refactor_fill);
   out.Set("refactor_stability", stats.refactor_stability);
+  // Audit counters appear only when auditing ran (LpOptions audit_level
+  // above "off"), keeping the documented schema byte-identical for the
+  // default path — tests/obs_golden_test.cc pins that byte-for-byte.
+  if (stats.audits_run > 0) {
+    out.Set("audits_run", stats.audits_run);
+    out.Set("audit_failures", stats.audit_failures);
+  }
   out.Set("lp_seconds", stats.lp_seconds);
   return out;
 }
@@ -406,6 +422,12 @@ JsonValue AdviseResponseToJson(const Instance& instance,
   out.Set("breakdown", std::move(breakdown));
   out.Set("latency_cost", result.latency_cost);
   out.Set("proven_optimal", result.proven_optimal);
+  // Present only when the SolutionCertifier re-verified the response (the
+  // request's certify flag, or any debug build); absent otherwise so the
+  // pre-certifier response shape is unchanged.
+  if (response.certified) {
+    out.Set("certified", true);
+  }
   out.Set("seconds", result.seconds);
   if (!response.warnings.empty()) {
     JsonValue warnings = JsonValue::MakeArray();

@@ -99,6 +99,8 @@ class ExhaustiveAdapter : public Solver {
     run.partitioning = std::move(*result.partitioning);
     run.algorithm = kSolverExhaustive;
     run.proven_optimal = result.exact;
+    // The proof is by complete enumeration, not a dual bound.
+    run.search_exhausted = result.exact;
     return run;
   }
 };
@@ -181,6 +183,7 @@ class IlpAdapter : public Solver {
                               ? request.ilp.bnb_threads
                               : std::max(1, request.num_threads);
     ilp.mip.cancel_flag = ctx.token.flag();
+    ilp.mip.lp_options.audit_level = request.ilp.lp_audit;
 
     // Track the cost of the latest decoded incumbent so tree-level ticks
     // (which only know the scalarized objective) can report objective (4).
@@ -244,6 +247,9 @@ class IlpAdapter : public Solver {
     SolverRun run;
     run.bnb_nodes = result.nodes;
     run.lp_stats = result.lp_stats;
+    run.best_bound = result.best_bound;
+    run.search_exhausted = result.search_exhausted;
+    run.pruned_by_external_bound = result.pruned_by_external_bound;
     if (result.ok()) {
       run.partitioning = std::move(*result.partitioning);
       run.algorithm = kSolverIlp;
@@ -341,6 +347,7 @@ class PortfolioAdapter : public Solver {
     portfolio.run_ilp = request.portfolio.run_ilp;
     portfolio.run_sa = request.portfolio.run_sa;
     portfolio.run_incremental = request.portfolio.run_incremental;
+    portfolio.lp_audit = request.ilp.lp_audit;
     portfolio.cancel_token = &ctx.token;
     std::atomic<long> publications{0};
     if (ctx.incumbent || ctx.progress) {
@@ -382,6 +389,9 @@ class PortfolioAdapter : public Solver {
     run.proven_optimal = raced->proven_optimal;
     run.bnb_nodes = raced->ilp_nodes;
     run.lp_stats = raced->ilp_lp_stats;
+    run.best_bound = raced->ilp_best_bound;
+    run.search_exhausted = raced->ilp_search_exhausted;
+    run.pruned_by_external_bound = raced->ilp_pruned_by_external_bound;
     return run;
   }
 };

@@ -2,6 +2,7 @@
 #define VPART_API_SOLVER_REGISTRY_H_
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,16 @@ struct SolverRun {
   /// portfolio's ILP lane); zeros otherwise.
   long bnb_nodes = 0;
   LpSolveStats lp_stats;
+  /// Dual bound and proof provenance of the branch & bound behind a
+  /// proven_optimal claim (mirrors IlpSolveResult / the portfolio's ILP
+  /// lane). best_bound is in scalarized (eq. 6) space of the solve
+  /// instance and stays -inf for solvers that prove optimality without a
+  /// bound (exhaustive enumeration) or don't prove it at all. The
+  /// SolutionCertifier's bound audit cross-checks these against the
+  /// incumbent.
+  double best_bound = -std::numeric_limits<double>::infinity();
+  bool search_exhausted = false;
+  bool pruned_by_external_bound = false;
 };
 
 /// Interface every registered solver implements. Solve() is called with the

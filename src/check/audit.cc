@@ -1,0 +1,30 @@
+#include "check/audit.h"
+
+namespace vpart {
+
+const char* AuditLevelName(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff:
+      return "off";
+    case AuditLevel::kCheap:
+      return "cheap";
+    case AuditLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+bool ParseAuditLevel(const std::string& text, AuditLevel* out) {
+  if (text == "off") {
+    *out = AuditLevel::kOff;
+  } else if (text == "cheap") {
+    *out = AuditLevel::kCheap;
+  } else if (text == "full") {
+    *out = AuditLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vpart

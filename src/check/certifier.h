@@ -1,0 +1,81 @@
+#ifndef VPART_CHECK_CERTIFIER_H_
+#define VPART_CHECK_CERTIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "api/advise.h"
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// Tolerances of the certifier's numeric cross-checks. The defaults are
+/// far above the double-vs-long-double disagreement of a correct answer
+/// (relative 1e-12-ish on the eq.-(7) models) and far below anything a
+/// genuinely wrong solution produces.
+struct CertifierOptions {
+  /// Reported cost vs the long-double recomputation through c1/c2.
+  double cost_rel_tol = 1e-9;
+  double cost_abs_tol = 1e-6;
+  /// First-principles paths (Breakdown, SiteLoad) vs the coefficient
+  /// tables: independent float pipelines, so a looser band.
+  double physics_rel_tol = 1e-6;
+  /// Bound audit: how far a dual bound may sit above the incumbent before
+  /// the optimality certificate is declared forged.
+  double bound_rel_tol = 1e-6;
+  double bound_abs_tol = 1e-5;
+};
+
+/// Outcome of one certification: every failed check as a human-readable
+/// sentence, plus the recomputed reference values.
+struct CertificationReport {
+  bool certified = false;
+  long checks_run = 0;
+  std::vector<std::string> failures;
+  /// Objective (4) re-accumulated in long double through the certifier's
+  /// own cost model (site-major order, independent of Objective()'s loop).
+  double recomputed_cost = 0.0;
+  double recomputed_single_site_cost = 0.0;
+
+  /// "certified (N checks)" or "REJECTED: <failure>; <failure>; ...".
+  std::string Summary() const;
+};
+
+/// Independent re-verification of an AdviseResponse against its Instance.
+/// The certifier shares no state with the solver path: it rebuilds the cost
+/// model from the registry, re-derives the paper's feasibility rows
+/// (eq. (2)-(3) assignment/placement structure, the φ read-locality
+/// implication behind eq. (7)'s linking rows, disjointness when replication
+/// is off), recomputes objective (4), the eq.-(5) site-load rows, the
+/// breakdown, the baseline, and the latency exposure from scratch, and
+/// audits any optimality certificate against the reported dual bound and
+/// proof flags (`search_exhausted`, `pruned_by_external_bound`): a claimed
+/// proof with bound > incumbent, or with neither an exhausted search nor a
+/// gap-closing bound, is rejected.
+///
+/// Certification is read-only and thread-compatible: one instance may
+/// certify concurrently from multiple threads.
+class SolutionCertifier {
+ public:
+  explicit SolutionCertifier(CertifierOptions options = {});
+
+  /// Re-verifies `response` (produced for `request`) against `instance` —
+  /// the *original* instance, before any attribute grouping. Reports every
+  /// violated check rather than stopping at the first.
+  CertificationReport Certify(const Instance& instance,
+                              const AdviseRequest& request,
+                              const AdviseResponse& response) const;
+
+ private:
+  CertifierOptions options_;
+};
+
+/// Convenience wrapper for post-solve gates: Ok when the response
+/// certifies, InternalError listing every failure otherwise.
+Status CertifyResponse(const Instance& instance, const AdviseRequest& request,
+                       const AdviseResponse& response);
+
+}  // namespace vpart
+
+#endif  // VPART_CHECK_CERTIFIER_H_

@@ -1,0 +1,50 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace vpart {
+
+double RowActivityResidualInf(int num_rows, const std::vector<int>& col_start,
+                              const std::vector<int>& row_index,
+                              const std::vector<double>& value,
+                              const std::vector<double>& x,
+                              const std::vector<double>& rhs) {
+  std::vector<double> activity(static_cast<size_t>(num_rows), 0.0);
+  const size_t num_cols = col_start.empty() ? 0 : col_start.size() - 1;
+  for (size_t j = 0; j < num_cols && j < x.size(); ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (int k = col_start[j]; k < col_start[j + 1]; ++k) {
+      activity[static_cast<size_t>(row_index[static_cast<size_t>(k)])] +=
+          value[static_cast<size_t>(k)] * xj;
+    }
+  }
+  double residual = 0.0;
+  for (int i = 0; i < num_rows; ++i) {
+    const double r =
+        std::abs(activity[static_cast<size_t>(i)] - rhs[static_cast<size_t>(i)]);
+    if (!(r <= residual)) residual = r;  // NaN propagates to the max
+  }
+  return residual;
+}
+
+bool AllFinitePositive(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v) || v <= 0.0) return false;
+  }
+  return true;
+}
+
+bool BasisHeaderConsistent(const std::vector<int>& basic_of_row,
+                           int num_cols) {
+  std::vector<char> seen(static_cast<size_t>(num_cols), 0);
+  for (int col : basic_of_row) {
+    if (col < 0 || col >= num_cols) return false;
+    if (seen[static_cast<size_t>(col)]) return false;
+    seen[static_cast<size_t>(col)] = 1;
+  }
+  return true;
+}
+
+}  // namespace vpart

@@ -1,0 +1,38 @@
+#ifndef VPART_CHECK_INVARIANTS_H_
+#define VPART_CHECK_INVARIANTS_H_
+
+#include <vector>
+
+namespace vpart {
+
+/// Low-level numeric invariants shared by the LP auditor (lp/simplex.cc)
+/// and the tests. These operate on plain CSC arrays so the check layer
+/// needs nothing from lp/ — the solver hands over its internal state.
+
+/// ‖A·x − b‖∞ over a CSC matrix (col_start, row_index, value) with
+/// `num_rows` rows: the row-activity residual of the solver's current
+/// iterate. For a consistent simplex state (basic values freshly computed
+/// through the factorization) this is at rounding level; growth signals a
+/// drifted LU or an incrementally-updated iterate that no longer satisfies
+/// the constraints it claims to.
+double RowActivityResidualInf(int num_rows, const std::vector<int>& col_start,
+                              const std::vector<int>& row_index,
+                              const std::vector<double>& value,
+                              const std::vector<double>& x,
+                              const std::vector<double>& rhs);
+
+/// True when every entry is finite and strictly positive — the devex /
+/// dual-steepest-edge weight invariant (weights start at 1 and only grow
+/// between resets; zero, negative, or non-finite weights mean the update
+/// formula was fed garbage).
+bool AllFinitePositive(const std::vector<double>& values);
+
+/// Basis-header consistency: every row's basic column is in [0, num_cols)
+/// and no column is basic in two rows. `num_cols` is the struct+logical
+/// column count (artificials are never part of a reusable basis).
+bool BasisHeaderConsistent(const std::vector<int>& basic_of_row,
+                           int num_cols);
+
+}  // namespace vpart
+
+#endif  // VPART_CHECK_INVARIANTS_H_

@@ -201,9 +201,13 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     ilp.mip.num_threads = bnb_threads;
     ilp.mip.external_upper_bound = shared.bound();
     ilp.mip.cancel_flag = token.flag();
+    ilp.mip.lp_options.audit_level = options.lp_audit;
     IlpSolveResult result = SolveWithIlp(cost_model, ilp);
     lane.nodes = result.nodes;
     lane.lp_stats = result.lp_stats;
+    lane.best_bound = result.best_bound;
+    lane.search_exhausted = result.search_exhausted;
+    lane.pruned_by_external_bound = result.pruned_by_external_bound;
     if (result.ok()) {
       publish(*result.partitioning, "ilp");
       lane.has_solution = true;
@@ -240,6 +244,9 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     if (lane.name == "ilp") {
       result.ilp_nodes = lane.nodes;
       result.ilp_lp_stats = lane.lp_stats;
+      result.ilp_best_bound = lane.best_bound;
+      result.ilp_search_exhausted = lane.search_exhausted;
+      result.ilp_pruned_by_external_bound = lane.pruned_by_external_bound;
     }
   }
   result.proven_optimal = proof_done.load(std::memory_order_relaxed);

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "check/audit.h"
 #include "cost/cost_coefficients.h"
 #include "engine/thread_pool.h"
 #include "lp/solve_stats.h"
@@ -42,6 +44,9 @@ struct PortfolioOptions {
   bool run_ilp = true;
   bool run_sa = true;
   bool run_incremental = true;
+  /// LP invariant-audit level of the ILP lane's node LPs (check/audit.h);
+  /// failures surface in ilp_lp_stats.audit_failures.
+  AuditLevel lp_audit = AuditLevel::kOff;
   /// Externally owned race token. When set, the race uses it directly (its
   /// deadline replaces time_limit_seconds), so Cancel() on the caller's
   /// copy stops every lane; the race itself cancels it once the ILP proof
@@ -66,6 +71,11 @@ struct PortfolioLane {
   /// ILP lane only: branch & bound nodes and node-LP warm/cold telemetry.
   long nodes = 0;
   LpSolveStats lp_stats;
+  /// ILP lane only: the dual bound and proof flags of its search (mirrors
+  /// IlpSolveResult), so the certifier can audit the optimality claim.
+  double best_bound = -std::numeric_limits<double>::infinity();
+  bool search_exhausted = false;
+  bool pruned_by_external_bound = false;
 };
 
 struct PortfolioResult {
@@ -83,6 +93,11 @@ struct PortfolioResult {
   /// when the lane did not run), so callers need not scan `lanes`.
   long ilp_nodes = 0;
   LpSolveStats ilp_lp_stats;
+  /// Mirror of the ILP lane's dual bound and proof flags (see
+  /// PortfolioLane); best_bound is -inf when the lane did not run.
+  double ilp_best_bound = -std::numeric_limits<double>::infinity();
+  bool ilp_search_exhausted = false;
+  bool ilp_pruned_by_external_bound = false;
 };
 
 StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,

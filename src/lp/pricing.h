@@ -56,6 +56,11 @@ class DevexPricing {
 
   long resets() const { return resets_; }
 
+  /// All weights of the current framework (empty before the first Reset).
+  /// Read-only view for the invariant auditor: every entry must stay finite
+  /// and strictly positive between resets.
+  const std::vector<double>& weights() const { return weights_; }
+
  private:
   std::vector<double> weights_;
   long resets_ = 0;
@@ -94,6 +99,9 @@ class DualSteepestEdgePricing {
   void UpdateOnPivot(const std::vector<double>& w, int r, double alpha_r);
 
   long resets() const { return resets_; }
+
+  /// See DevexPricing::weights().
+  const std::vector<double>& weights() const { return weights_; }
 
  private:
   std::vector<double> weights_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "check/invariants.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -248,6 +249,8 @@ bool SimplexSolver::Refactorize() {
   ++factorizations_;
   factor_synced_ = true;
   RecomputeBasicValues();
+  ft_updates_since_audit_ = 0;
+  if (options_.audit_level != AuditLevel::kOff) AuditResidual("refactorize");
   return true;
 }
 
@@ -259,6 +262,14 @@ bool SimplexSolver::UpdateFactorization(int entering, int row,
   // everything into a fresh LU instead.
   if (factor_.Update(col_start_, row_index_, value_, entering, row) &&
       !factor_.NeedsRefactorization()) {
+    // The pivot's incremental updates to xval_ are complete here (the
+    // iteration loops update the iterate before the factorization), so the
+    // periodic kFull residual audit sees a consistent state.
+    if (options_.audit_level == AuditLevel::kFull &&
+        ++ft_updates_since_audit_ >= options_.audit_ft_interval) {
+      ft_updates_since_audit_ = 0;
+      AuditResidual("ft_update");
+    }
     return true;
   }
   refactorized = true;
@@ -275,6 +286,43 @@ void SimplexSolver::RecomputeBasicValues() {
   }
   Ftran(r);
   for (int i = 0; i < num_rows_; ++i) xval_[basis_[i]] = r[i];
+}
+
+void SimplexSolver::AuditResidual(const char* where) {
+  ++audits_run_total_;
+  double rhs_norm = 0.0;
+  for (double b : rhs_) rhs_norm = std::max(rhs_norm, std::abs(b));
+  const double residual = RowActivityResidualInf(
+      num_rows_, col_start_, row_index_, value_, xval_, rhs_);
+  // Well above the incremental-drift level of a healthy solve (the basic
+  // values go through a fresh FTRAN at every refactorization) but far below
+  // anything a genuinely wrong factorization produces.
+  const double tolerance =
+      std::max(1e-6, 10.0 * options_.feasibility_tol) * (1.0 + rhs_norm);
+  if (!(residual <= tolerance)) {
+    ++audit_failures_total_;
+    VPART_LOG(Warning) << "lp audit: row-activity residual " << residual
+                       << " exceeds " << tolerance << " after " << where;
+  }
+}
+
+void SimplexSolver::AuditPricingWeights() {
+  if (options_.use_devex && !devex_.weights().empty()) {
+    ++audits_run_total_;
+    if (!AllFinitePositive(devex_.weights())) {
+      ++audit_failures_total_;
+      VPART_LOG(Warning)
+          << "lp audit: devex weight non-positive or non-finite";
+    }
+  }
+  if (options_.use_steepest_edge && !dse_.weights().empty()) {
+    ++audits_run_total_;
+    if (!AllFinitePositive(dse_.weights())) {
+      ++audit_failures_total_;
+      VPART_LOG(Warning)
+          << "lp audit: dual-steepest-edge weight non-positive or non-finite";
+    }
+  }
 }
 
 void SimplexSolver::ComputeReducedCosts(std::vector<double>& d) const {
@@ -510,6 +558,7 @@ LpStatus SimplexSolver::RunPhase(long max_iterations) {
 
 LpResult SimplexSolver::FinishResult(LpStatus status, bool warm,
                                      bool expose_partial) {
+  if (options_.audit_level == AuditLevel::kFull) AuditPricingWeights();
   LpResult result;
   result.status = status;
   result.iterations = iterations_;
@@ -525,6 +574,10 @@ LpResult SimplexSolver::FinishResult(LpStatus status, bool warm,
       fs.refactor_stability - factor_stats_base_.refactor_stability;
   result.bound_flips = bound_flips_;
   result.se_resets = devex_.resets() + dse_.resets() - pricing_resets_base_;
+  result.audits_run = audits_run_total_ - audits_run_reported_;
+  result.audit_failures = audit_failures_total_ - audit_failures_reported_;
+  audits_run_reported_ = audits_run_total_;
+  audit_failures_reported_ = audit_failures_total_;
   result.warm_started = warm;
   // Limit-stop iterates are only exposed when the caller says they are
   // primal feasible (a phase-2 primal stop); a phase-1 or dual stop leaves
@@ -618,6 +671,28 @@ bool SimplexSolver::LoadBasis(const Basis& basis) {
   if (!basis.valid_ || basis.num_rows() != num_rows_ ||
       static_cast<int>(basis.state_.size()) != first_artificial_) {
     return false;
+  }
+  if (options_.audit_level != AuditLevel::kOff) {
+    // Basis-header audit: each row's basic column in range and unique, and
+    // the snapshot's state vector agreeing with the header. A corrupt
+    // snapshot is counted as an audit failure and rejected — the caller's
+    // ladder falls back to a cold solve instead of factorizing garbage.
+    ++audits_run_total_;
+    bool consistent =
+        BasisHeaderConsistent(basis.basic_of_row_, first_artificial_);
+    if (consistent) {
+      for (int col : basis.basic_of_row_) {
+        if (basis.state_[col] != static_cast<uint8_t>(VarState::kBasic)) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) {
+      ++audit_failures_total_;
+      VPART_LOG(Warning) << "lp audit: rejected inconsistent basis snapshot";
+      return false;
+    }
   }
   TruncateArtificials();
   // Loading the basis the solver already holds (the common plunge case:

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.h"
 #include "lp/factorization.h"
 #include "lp/model.h"
 #include "lp/pricing.h"
@@ -62,6 +63,15 @@ struct SimplexOptions {
   /// pricing switches to Bland's rule, which guarantees termination. Applies
   /// to both the primal phases and the dual reoptimization.
   long stall_threshold = 2000;
+  /// Self-check level (check/audit.h): kOff (default) runs no audits; kCheap
+  /// checks ‖A·x − b‖∞ after each refactorization and basis-header
+  /// consistency on LoadBasis; kFull adds a residual check every
+  /// audit_ft_interval Forrest–Tomlin updates and pricing-weight positivity
+  /// at solve end. Failures are counted (LpResult::audit_failures), never
+  /// acted on.
+  AuditLevel audit_level = AuditLevel::kOff;
+  /// Forrest–Tomlin updates between residual audits at AuditLevel::kFull.
+  int audit_ft_interval = 25;
 };
 
 struct LpResult {
@@ -91,6 +101,11 @@ struct LpResult {
   long refactor_updates = 0;
   long refactor_fill = 0;
   long refactor_stability = 0;
+  /// Invariant audits executed / failed during this call (plus any audits
+  /// run by LoadBasis since the previous call, so the ledger stays closed).
+  /// Both 0 unless SimplexOptions::audit_level enables them.
+  long audits_run = 0;
+  long audit_failures = 0;
   /// True when this result came from a dual reoptimization of a loaded
   /// basis rather than a cold two-phase primal.
   bool warm_started = false;
@@ -107,6 +122,8 @@ struct LpResult {
     stats.refactor_updates += refactor_updates;
     stats.refactor_fill += refactor_fill;
     stats.refactor_stability += refactor_stability;
+    stats.audits_run += audits_run;
+    stats.audit_failures += audit_failures;
   }
 };
 
@@ -227,6 +244,13 @@ class SimplexSolver {
   /// caller must then re-price from scratch).
   bool UpdateFactorization(int entering, int row, bool& refactorized);
 
+  // --- invariant audits (SimplexOptions::audit_level) ---------------------
+  /// ‖A·x − b‖∞ over the current iterate; counts one audit, and a failure
+  /// when the residual exceeds the audit tolerance. `where` labels the log.
+  void AuditResidual(const char* where);
+  /// kFull-level pricing-weight positivity check at solve end.
+  void AuditPricingWeights();
+
   // --- pricing -----------------------------------------------------------
   /// Reduced-cost violation of nonbasic column j (> 0 when j can improve
   /// the objective by moving off its bound); 0 when ineligible.
@@ -282,6 +306,15 @@ class SimplexSolver {
   long pricing_resets_base_ = 0;
   long stall_count_ = 0;
   bool use_bland_ = false;
+  // Audit counters are cumulative for the solver's lifetime; FinishResult
+  // reports (total - reported) and advances the watermark, so LoadBasis
+  // audits — which land between calls, before the next ResetCallCounters —
+  // are attributed to the next solve and the ledger stays closed.
+  long audits_run_total_ = 0;
+  long audit_failures_total_ = 0;
+  long audits_run_reported_ = 0;
+  long audit_failures_reported_ = 0;
+  int ft_updates_since_audit_ = 0;
 };
 
 /// Solves the LP relaxation of `model` (integrality flags ignored) with a

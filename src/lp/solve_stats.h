@@ -55,6 +55,15 @@ struct LpSolveStats {
   /// Refactorizations forced by numerical distrust: a rejected (unstable)
   /// Forrest–Tomlin update or an FTRAN/BTRAN disagreement on the pivot.
   long refactor_stability = 0;
+  /// Invariant audits executed (SimplexOptions::audit_level, check/audit.h):
+  /// residual checks after refactorizations / FT-update batches,
+  /// basis-header checks on LoadBasis, pricing-weight positivity checks.
+  /// Zero when auditing is off.
+  long audits_run = 0;
+  /// Audits that failed. Always 0 on a healthy solve; non-zero means the
+  /// factorization drifted, a basis snapshot was corrupt, or a pricing
+  /// weight went non-positive — treat the optimality claim with suspicion.
+  long audit_failures = 0;
   /// Wall clock spent inside LP solves.
   double lp_seconds = 0.0;
 
@@ -75,6 +84,8 @@ struct LpSolveStats {
     refactor_updates += other.refactor_updates;
     refactor_fill += other.refactor_fill;
     refactor_stability += other.refactor_stability;
+    audits_run += other.audits_run;
+    audit_failures += other.audit_failures;
     lp_seconds += other.lp_seconds;
   }
 };

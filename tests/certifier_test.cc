@@ -1,0 +1,315 @@
+// The certifier's contract, from both sides: every golden TPC-C solve must
+// certify through every registered cost-model backend, and every seeded
+// corruption of a good response — structural, numeric, or a forged
+// optimality certificate — must be rejected with a failure naming what
+// broke. Also covers the LP invariant-audit counters the certifier folds
+// into its verdict and the check/ helper predicates.
+
+#include "check/certifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/advise.h"
+#include "check/audit.h"
+#include "check/invariants.h"
+#include "instances/tpcc.h"
+
+namespace vpart {
+namespace {
+
+/// Case-sensitive substring assertion over the report summary, so a test
+/// failure prints the whole summary.
+void ExpectRejectedWith(const CertificationReport& report,
+                        const std::string& needle) {
+  EXPECT_FALSE(report.certified) << report.Summary();
+  EXPECT_NE(report.Summary().find(needle), std::string::npos)
+      << "expected \"" << needle << "\" in: " << report.Summary();
+}
+
+class CertifierTest : public ::testing::Test {
+ protected:
+  AdviseRequest BaseRequest(const std::string& backend) const {
+    AdviseRequest request;
+    request.solver = "ilp";
+    request.num_sites = 3;
+    request.num_threads = 1;
+    request.cost.p = 8;
+    request.cost.lambda = 0.0;
+    request.cost_model.backend = backend;
+    request.ilp.warm_start_seconds = 0.0;
+    return request;
+  }
+
+  /// Solves and returns a known-good (request, response) pair.
+  AdviseResponse Solve(const AdviseRequest& request) const {
+    StatusOr<AdviseResponse> response = Advise(instance_, request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return *response;
+  }
+
+  Instance instance_ = MakeTpccInstance();
+  SolutionCertifier certifier_;
+};
+
+TEST_F(CertifierTest, AcceptsGoldenSolvesUnderEveryBackend) {
+  for (const char* backend : {"paper", "cacheline", "disk_page"}) {
+    const AdviseRequest request = BaseRequest(backend);
+    const AdviseResponse response = Solve(request);
+    const CertificationReport report =
+        certifier_.Certify(instance_, request, response);
+    EXPECT_TRUE(report.certified)
+        << backend << ": " << report.Summary();
+    EXPECT_GT(report.checks_run, 10) << backend;
+    EXPECT_NEAR(report.recomputed_cost, response.result.cost,
+                1e-6 + 1e-9 * response.result.cost)
+        << backend;
+  }
+}
+
+TEST_F(CertifierTest, AcceptsExhaustiveEnumerationProof) {
+  AdviseRequest request = BaseRequest("paper");
+  request.solver = "exhaustive";
+  request.num_sites = 2;
+  const AdviseResponse response = Solve(request);
+  ASSERT_TRUE(response.result.proven_optimal);
+  EXPECT_EQ(response.bnb_nodes, 0);
+  EXPECT_TRUE(response.search_exhausted);
+  const CertificationReport report =
+      certifier_.Certify(instance_, request, response);
+  EXPECT_TRUE(report.certified) << report.Summary();
+}
+
+TEST_F(CertifierTest, AcceptsHeuristicSolveWithoutProof) {
+  AdviseRequest request = BaseRequest("paper");
+  request.solver = "sa";
+  request.time_limit_seconds = 2.0;
+  const AdviseResponse response = Solve(request);
+  const CertificationReport report =
+      certifier_.Certify(instance_, request, response);
+  EXPECT_TRUE(report.certified) << report.Summary();
+}
+
+TEST_F(CertifierTest, AcceptsLatencyPricedSolve) {
+  AdviseRequest request = BaseRequest("paper");
+  request.latency_penalty = 0.5;
+  const AdviseResponse response = Solve(request);
+  const CertificationReport report =
+      certifier_.Certify(instance_, request, response);
+  EXPECT_TRUE(report.certified) << report.Summary();
+}
+
+TEST_F(CertifierTest, AcceptsLatencyPricedSolveWithoutGrouping) {
+  // The latency MIP's bound lives in a space that overestimates the
+  // re-evaluated layout (u variables may exceed x·y to relax psi links),
+  // so the certifier must accept a latency proof without comparing bounds
+  // — grouped or not.
+  AdviseRequest request = BaseRequest("paper");
+  request.latency_penalty = 0.5;
+  request.use_attribute_grouping = false;
+  request.time_limit_seconds = 20.0;
+  const AdviseResponse response = Solve(request);
+  const CertificationReport report =
+      certifier_.Certify(instance_, request, response);
+  EXPECT_TRUE(report.certified) << report.Summary();
+}
+
+TEST_F(CertifierTest, RejectsDuplicatedAttributeInDisjointMode) {
+  AdviseRequest request = BaseRequest("paper");
+  request.allow_replication = false;
+  AdviseResponse response = Solve(request);
+  // Seed the corruption: give attribute 0 a second replica.
+  Partitioning& p = response.result.partitioning;
+  const std::vector<int> sites = p.SitesOfAttribute(0);
+  ASSERT_EQ(sites.size(), 1u);
+  p.PlaceAttribute(0, (sites[0] + 1) % p.num_sites());
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "more than one fragment");
+}
+
+TEST_F(CertifierTest, RejectsMissingReadAttribute) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  // Remove a read attribute from its transaction's site: the eq. (7)
+  // linking structure (reads served locally) is now violated.
+  Partitioning& p = response.result.partitioning;
+  const std::vector<int> reads = instance_.ReadSetOfTransaction(0);
+  ASSERT_FALSE(reads.empty());
+  const int a = reads[0];
+  for (int s = 0; s < p.num_sites(); ++s) p.RemoveAttribute(a, s);
+  p.PlaceAttribute(a, (p.SiteOfTransaction(0) + 1) % p.num_sites());
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "single-sitedness violated");
+}
+
+TEST_F(CertifierTest, RejectsUnassignedTransaction) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  response.result.partitioning.AssignTransaction(0, -1);
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "not assigned");
+}
+
+TEST_F(CertifierTest, RejectsOffByEpsilonCost) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  response.result.cost += 0.5;
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "disagrees with the long-double recomputation");
+}
+
+TEST_F(CertifierTest, RejectsForgedBoundAboveIncumbent) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  ASSERT_TRUE(response.result.proven_optimal);
+  ASSERT_GT(response.bnb_nodes, 0);
+  response.best_bound = 2.0 * response.result.cost + 100.0;
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "exceeds the incumbent");
+}
+
+TEST_F(CertifierTest, RejectsOptimalityClaimWithOpenGap) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  ASSERT_TRUE(response.result.proven_optimal);
+  ASSERT_GT(response.bnb_nodes, 0);
+  // A bound 50% below the incumbent cannot prove optimality at a 0.1% gap
+  // unless the tree finished — claim it didn't.
+  response.search_exhausted = false;
+  response.pruned_by_external_bound = false;
+  response.best_bound = 0.5 * response.result.cost;
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "was not exhausted");
+}
+
+TEST_F(CertifierTest, RejectsOptimalityClaimWithoutAnySearch) {
+  AdviseRequest request = BaseRequest("paper");
+  request.solver = "sa";
+  request.time_limit_seconds = 2.0;
+  AdviseResponse response = Solve(request);
+  ASSERT_EQ(response.bnb_nodes, 0);
+  response.result.proven_optimal = true;
+  response.search_exhausted = false;
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "without a branch & bound tree");
+}
+
+TEST_F(CertifierTest, RejectsResponseTaintedByLpAuditFailures) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  response.lp_stats.audits_run = 3;
+  response.lp_stats.audit_failures = 3;
+  ExpectRejectedWith(certifier_.Certify(instance_, request, response),
+                     "LP invariant audits failed");
+}
+
+TEST_F(CertifierTest, RejectsShapeMismatch) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  response.result.partitioning = Partitioning(1, 1, 1);
+  const CertificationReport report =
+      certifier_.Certify(instance_, request, response);
+  ExpectRejectedWith(report, "does not match instance");
+  // Shape failures stop certification before any indexed check runs.
+  EXPECT_EQ(report.checks_run, 1);
+}
+
+TEST_F(CertifierTest, CertifyResponseWrapsReportAsStatus) {
+  const AdviseRequest request = BaseRequest("paper");
+  AdviseResponse response = Solve(request);
+  EXPECT_TRUE(CertifyResponse(instance_, request, response).ok());
+  response.result.cost += 10.0;
+  const Status status = CertifyResponse(instance_, request, response);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("failed certification"),
+            std::string::npos);
+}
+
+TEST_F(CertifierTest, AdviseCertifiesWhenRequested) {
+  AdviseRequest request = BaseRequest("paper");
+  request.certify = true;
+  const AdviseResponse response = Solve(request);
+  EXPECT_TRUE(response.certified);
+}
+
+// ---------------------------------------------------------- LP audits ----
+
+TEST_F(CertifierTest, FullAuditLevelRunsCleanAudits) {
+  AdviseRequest request = BaseRequest("paper");
+  request.ilp.lp_audit = AuditLevel::kFull;
+  request.certify = true;
+  const AdviseResponse response = Solve(request);
+  // Every node-LP refactorization audited at least once; a healthy solve
+  // has zero failures, and the certifier (which rejects any failure)
+  // passed the response through.
+  EXPECT_GT(response.lp_stats.audits_run, 0);
+  EXPECT_EQ(response.lp_stats.audit_failures, 0);
+  EXPECT_TRUE(response.certified);
+}
+
+TEST_F(CertifierTest, CheapAuditLevelRunsFewerAudits) {
+  AdviseRequest full_request = BaseRequest("paper");
+  full_request.ilp.lp_audit = AuditLevel::kFull;
+  AdviseRequest cheap_request = BaseRequest("paper");
+  cheap_request.ilp.lp_audit = AuditLevel::kCheap;
+  const AdviseResponse full = Solve(full_request);
+  const AdviseResponse cheap = Solve(cheap_request);
+  EXPECT_GT(cheap.lp_stats.audits_run, 0);
+  EXPECT_EQ(cheap.lp_stats.audit_failures, 0);
+  EXPECT_LE(cheap.lp_stats.audits_run, full.lp_stats.audits_run);
+}
+
+TEST_F(CertifierTest, AuditsOffKeepsCountersAtZero) {
+  const AdviseRequest request = BaseRequest("paper");
+  const AdviseResponse response = Solve(request);
+  EXPECT_EQ(response.lp_stats.audits_run, 0);
+  EXPECT_EQ(response.lp_stats.audit_failures, 0);
+}
+
+// ----------------------------------------------------- check/ helpers ----
+
+TEST(AuditLevelTest, ParseAndNameRoundTrip) {
+  for (const AuditLevel level :
+       {AuditLevel::kOff, AuditLevel::kCheap, AuditLevel::kFull}) {
+    AuditLevel parsed = AuditLevel::kOff;
+    ASSERT_TRUE(ParseAuditLevel(AuditLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  AuditLevel ignored = AuditLevel::kOff;
+  EXPECT_FALSE(ParseAuditLevel("loud", &ignored));
+  EXPECT_FALSE(ParseAuditLevel("", &ignored));
+}
+
+TEST(InvariantsTest, ResidualOverCscColumns) {
+  // Two rows, two columns: A = [[2, 0], [1, 3]], x = (1, 1), b = (2, 4).
+  const std::vector<int> col_start = {0, 2, 3};
+  const std::vector<int> row_index = {0, 1, 1};
+  const std::vector<double> value = {2.0, 1.0, 3.0};
+  const std::vector<double> x = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      RowActivityResidualInf(2, col_start, row_index, value, x, {2.0, 4.0}),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      RowActivityResidualInf(2, col_start, row_index, value, x, {2.0, 6.0}),
+      2.0);
+}
+
+TEST(InvariantsTest, AllFinitePositiveScreensWeights) {
+  EXPECT_TRUE(AllFinitePositive({1.0, 0.5, 1e-12}));
+  EXPECT_FALSE(AllFinitePositive({1.0, 0.0}));
+  EXPECT_FALSE(AllFinitePositive({1.0, -2.0}));
+  EXPECT_FALSE(AllFinitePositive({1.0, std::nan("")}));
+}
+
+TEST(InvariantsTest, BasisHeaderConsistency) {
+  EXPECT_TRUE(BasisHeaderConsistent({2, 0, 1}, 3));
+  EXPECT_FALSE(BasisHeaderConsistent({2, 2, 1}, 3));   // duplicate
+  EXPECT_FALSE(BasisHeaderConsistent({2, 0, 3}, 3));   // out of range
+  EXPECT_FALSE(BasisHeaderConsistent({2, 0, -1}, 3));  // out of range
+}
+
+}  // namespace
+}  // namespace vpart

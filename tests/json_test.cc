@@ -6,6 +6,7 @@
 #include <string>
 
 #include "api/request_json.h"
+#include "check/audit.h"
 #include "instances/tpcc.h"
 
 namespace vpart {
@@ -80,6 +81,98 @@ TEST(JsonTest, RejectsExcessiveNesting) {
   for (int i = 0; i < 200; ++i) deep += '[';
   for (int i = 0; i < 200; ++i) deep += ']';
   EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, NestingLimitBoundary) {
+  auto nested = [](int depth) {
+    return std::string(static_cast<size_t>(depth), '[') +
+           std::string(static_cast<size_t>(depth), ']');
+  };
+  // kMaxDepth = 100: 100 nested arrays parse, deeper documents fail
+  // gracefully instead of overflowing the recursion stack.
+  EXPECT_TRUE(JsonValue::Parse(nested(100)).ok());
+  EXPECT_FALSE(JsonValue::Parse(nested(103)).ok());
+  // Mixed object/array nesting hits the same limit.
+  std::string mixed;
+  for (int i = 0; i < 80; ++i) mixed += "{\"k\":[";
+  mixed += "1";
+  for (int i = 0; i < 80; ++i) mixed += "]}";
+  EXPECT_FALSE(JsonValue::Parse(mixed).ok());
+}
+
+TEST(JsonTest, TruncatedDocumentsFailGracefully) {
+  const std::string doc =
+      R"({"a": [1, 2.5e-1, {"b": "tex\nt"}], "c": true, "d": null})";
+  // Every proper prefix must come back as a parse error (never a crash or
+  // a silently truncated value).
+  for (size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(JsonValue::Parse(doc.substr(0, len)).ok()) << len;
+  }
+  EXPECT_TRUE(JsonValue::Parse(doc).ok());
+}
+
+TEST(JsonTest, RejectsNonFiniteNumberSpellings) {
+  // JSON has no NaN/Infinity; none of the common spellings may sneak in.
+  for (const char* text : {"NaN", "nan", "Infinity", "-Infinity", "inf",
+                           "-inf", "[NaN]", "{\"a\": Infinity}"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+}
+
+TEST(JsonTest, RejectsNumbersThatOverflowToInfinity) {
+  // strtod saturates these to +/-inf; the parser must reject rather than
+  // produce a non-finite value (which has no JSON representation).
+  for (const char* text : {"1e999", "-1e999", "1e308999",
+                           "[1, 1e999]", "{\"a\": -1e999}"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+  // The largest finite doubles still parse.
+  auto huge = JsonValue::Parse("1.7e308");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_DOUBLE_EQ(huge->as_number(), 1.7e308);
+}
+
+TEST(JsonTest, ParsesCertifyAndAuditRequestKeys) {
+  auto cli = ParseCliRequest(R"({
+    "instance": {"builtin": "tpcc"},
+    "certify": true,
+    "ilp": {"audit": "cheap"}
+  })");
+  ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+  EXPECT_TRUE(cli->request.certify);
+  EXPECT_EQ(cli->request.ilp.lp_audit, AuditLevel::kCheap);
+
+  auto bad = ParseCliRequest(R"({
+    "instance": {"builtin": "tpcc"},
+    "ilp": {"audit": "loud"}
+  })");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("ilp.audit"), std::string::npos);
+}
+
+TEST(JsonTest, CertifiedKeyOnlyAppearsWhenCertificationRan) {
+  AdviseResponse response;
+  response.solver_used = "ilp";
+  response.cost_model_used = "paper";
+  Instance instance = MakeTpccInstance();
+  response.result.partitioning = SingleSiteBaseline(instance, 1);
+  JsonValue plain = AdviseResponseToJson(instance, response,
+                                         /*emit_partitioning=*/false, {});
+  EXPECT_EQ(plain.Find("certified"), nullptr);
+  const JsonValue* mip = plain.Find("telemetry")->Find("mip");
+  ASSERT_NE(mip, nullptr);
+  EXPECT_EQ(mip->Find("audits_run"), nullptr);
+
+  response.certified = true;
+  response.lp_stats.audits_run = 12;
+  response.lp_stats.audit_failures = 1;
+  JsonValue certified = AdviseResponseToJson(instance, response,
+                                             /*emit_partitioning=*/false, {});
+  ASSERT_NE(certified.Find("certified"), nullptr);
+  EXPECT_TRUE(certified.Find("certified")->as_bool());
+  const JsonValue* audited = certified.Find("telemetry")->Find("mip");
+  EXPECT_DOUBLE_EQ(audited->Find("audits_run")->as_number(), 12.0);
+  EXPECT_DOUBLE_EQ(audited->Find("audit_failures")->as_number(), 1.0);
 }
 
 TEST(JsonTest, SerializeRoundTrips) {

@@ -50,6 +50,7 @@ struct CliArgs {
   std::string trace_path;    // --trace: Chrome Trace Event JSON dump
   std::string metrics_path;  // --metrics: Prometheus text dump
   std::string obs_text;      // --obs: overrides the request's "obs" key
+  bool certify = false;      // --certify: run the SolutionCertifier
   bool help = false;
   bool print_template = false;
 };
@@ -71,6 +72,12 @@ void PrintHelp() {
       "                        text exposition format after the solve\n"
       "  --obs off|basic|full  observability level; overrides the\n"
       "                        request's \"obs\" key\n"
+      "  --certify             re-verify the response with the independent\n"
+      "                        solution certifier (partition structure,\n"
+      "                        long-double cost recomputation, optimality\n"
+      "                        bound audit) before printing it; a failed\n"
+      "                        certification is a solve failure (exit 1).\n"
+      "                        Same as \"certify\": true in the request.\n"
       "  --template            print a starter request and exit\n"
       "  --help                this text\n"
       "\n"
@@ -88,6 +95,11 @@ void PrintHelp() {
       "  batch                 true = one solve per table (whole schema)\n"
       "  emit_events           true = include the progress-event stream\n"
       "  obs                   \"off\"|\"basic\"|\"full\" span recording\n"
+      "  certify               true = independent post-solve certification\n"
+      "                        (response carries \"certified\": true)\n"
+      "  ilp.audit             \"off\"|\"cheap\"|\"full\" node-LP invariant\n"
+      "                        audits; failures surface as\n"
+      "                        telemetry.mip.audit_failures\n"
       "\n"
       "response telemetry: every document carries telemetry.mip — the\n"
       "branch & bound's node count and node-LP solve statistics\n"
@@ -222,6 +234,7 @@ int Run(const CliArgs& args, const std::string& request_text) {
   } else if (!args.trace_path.empty()) {
     cli->request.obs = ObsLevel::kFull;
   }
+  if (args.certify) cli->request.certify = true;
   StatusOr<Instance> instance = LoadCliInstance(*cli);
   if (!instance.ok()) {
     std::fprintf(stderr, "failed to load instance: %s\n",
@@ -279,6 +292,8 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       if (!next_value("--metrics", &args.metrics_path)) return false;
     } else if (std::strcmp(arg, "--obs") == 0) {
       if (!next_value("--obs", &args.obs_text)) return false;
+    } else if (std::strcmp(arg, "--certify") == 0) {
+      args.certify = true;
     } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return false;
