@@ -54,6 +54,18 @@
 //                     recorder as Chrome Trace Event JSON (the CI artifact
 //                     showing B&B node / LP solve spans).
 //
+// The --serve section prices the advisor daemon's solution cache end to
+// end through a real Unix-socket round trip: the same TPC-C ILP request
+// cold (cache miss), repeated verbatim (exact canonical-fingerprint hit,
+// served from cache after re-certification), and with all query
+// frequencies scaled by 5% (shape hit: the cached incumbent and terminal
+// root basis seed the fresh solve). Contracts, gated by `--serve --quick`
+// (the serve_cache_smoke ctest): an exact hit answers >= 10x faster than
+// the cold solve, and the basis-seeded solve spends fewer total simplex
+// iterations than the same shifted problem solved cold on a fresh daemon.
+// `--serve --baseline BENCH_serve.json` trend-checks the cold seconds like
+// the other sections.
+//
 // The --obs section prices the observability layer itself: the same
 // fixed-work TPC-C batch SA solve (restart-capped, so every level does
 // identical work) at obs off / basic / full, min-of-repetitions, gated at
@@ -75,6 +87,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "api/advise.h"
 #include "api/json.h"
 #include "api/session.h"
@@ -88,9 +102,13 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "solver/advisor.h"
 #include "solver/formulation.h"
 #include "util/stopwatch.h"
+#include "workload/instance.h"
+#include "workload/instance_io.h"
 
 namespace vpart::bench {
 namespace {
@@ -793,6 +811,259 @@ int MipCoreMain(bool quick, const char* baseline_path,
   return ok ? 0 : 1;
 }
 
+// --- advisor daemon: cache miss vs exact hit vs basis-seeded ---------------
+
+/// Rebuilds the instance with every query frequency scaled by `factor`.
+/// The constraint pattern — and hence the canonical shape fingerprint —
+/// is unchanged; only objective numerics move, which is exactly the
+/// daemon's shape-hit case (cached incumbent + root basis seed a fresh
+/// solve).
+Instance ScaleFrequencies(const Instance& instance, double factor) {
+  InstanceBuilder builder(instance.name() + "-scaled");
+  for (const Table& table : instance.schema().tables()) {
+    builder.AddTable(table.name);
+  }
+  for (const Attribute& attribute : instance.schema().attributes()) {
+    builder.AddAttribute(attribute.table_id, attribute.name, attribute.width);
+  }
+  for (const Transaction& txn : instance.workload().transactions()) {
+    builder.AddTransaction(txn.name);
+  }
+  for (const Query& query : instance.workload().queries()) {
+    builder.AddQuery(query.transaction_id, query.name, query.kind,
+                     query.frequency * factor, query.attributes,
+                     query.table_rows);
+  }
+  auto built = builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "serve: scaled rebuild failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(built);
+}
+
+struct ServeSample {
+  double seconds = 0.0;
+  double iterations = 0.0;  // telemetry.mip.total_iterations
+};
+
+std::string ServeRequestJson(const std::string& instance_text,
+                             double time_limit, const std::string& id) {
+  JsonValue instance = JsonValue::MakeObject();
+  instance.Set("text", instance_text);
+  JsonValue serve = JsonValue::MakeObject();
+  serve.Set("id", id);
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("instance", std::move(instance));
+  request.Set("solver", "ilp");
+  request.Set("num_sites", 2);
+  request.Set("time_limit_seconds", time_limit);
+  request.Set("emit_partitioning", false);
+  request.Set("serve", std::move(serve));
+  return request.Serialize();
+}
+
+/// One timed round trip that must land on the given cache outcome; any
+/// error envelope or outcome mismatch aborts the bench (the serve_test
+/// suite owns behavioural coverage — here a mismatch means the numbers
+/// would not measure what the section claims).
+ServeSample ServeRoundtrip(ServeClient& client, const std::string& request,
+                           const char* expect_cache) {
+  Stopwatch watch;
+  StatusOr<std::string> reply = client.Roundtrip(request);
+  const double seconds = watch.ElapsedSeconds();
+  if (!reply.ok()) {
+    std::fprintf(stderr, "serve: roundtrip failed: %s\n",
+                 reply.status().ToString().c_str());
+    std::exit(1);
+  }
+  StatusOr<JsonValue> doc = JsonValue::Parse(*reply);
+  if (!doc.ok() || doc->Find("error") != nullptr) {
+    std::fprintf(stderr, "serve: error response: %s\n", reply->c_str());
+    std::exit(1);
+  }
+  const JsonValue* serve = doc->Find("serve");
+  const JsonValue* cache = serve != nullptr ? serve->Find("cache") : nullptr;
+  const std::string got = cache != nullptr ? cache->as_string() : "";
+  if (got != expect_cache) {
+    std::fprintf(stderr, "serve: expected cache outcome \"%s\", got \"%s\"\n",
+                 expect_cache, got.c_str());
+    std::exit(1);
+  }
+  ServeSample sample;
+  sample.seconds = seconds;
+  const JsonValue* telemetry = doc->Find("telemetry");
+  const JsonValue* mip =
+      telemetry != nullptr ? telemetry->Find("mip") : nullptr;
+  const JsonValue* iterations =
+      mip != nullptr ? mip->Find("total_iterations") : nullptr;
+  if (iterations != nullptr && iterations->is_number()) {
+    sample.iterations = iterations->as_number();
+  }
+  return sample;
+}
+
+/// Trend gate against the checked-in BENCH_serve.json: the absolute cold
+/// seconds must not regress >15% (+slack), mirroring the obs baseline
+/// check. The speedup and iteration gates are checked unconditionally in
+/// ServeMain; the baseline pins the daemon's end-to-end cold path.
+bool CheckServeBaseline(const char* path, double cold_seconds) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "serve: cannot read baseline %s\n", path);
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "serve: bad baseline %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const JsonValue* section = parsed->Find("serve_cache_tpcc");
+  const JsonValue* base = section != nullptr
+                              ? section->Find("cold_min_seconds")
+                              : nullptr;
+  if (base == nullptr || !base->is_number()) {
+    std::fprintf(stderr, "serve: baseline %s lacks cold_min_seconds\n", path);
+    return false;
+  }
+  constexpr double kRegressionFactor = 1.15;  // >15% worse = regression
+  constexpr double kAbsoluteSlack = 0.05;     // sub-second runs are noisy
+  const double limit = base->as_number() * kRegressionFactor + kAbsoluteSlack;
+  if (cold_seconds > limit) {
+    std::fprintf(stderr,
+                 "serve: cold seconds regressed %.3f -> %.3f (>15%% over "
+                 "the checked-in baseline %s)\n",
+                 base->as_number(), cold_seconds, path);
+    return false;
+  }
+  return true;
+}
+
+int ServeMain(bool quick, const char* baseline_path) {
+  const int repetitions = quick ? 3 : 5;
+  const double time_limit = QpTimeLimit(quick ? 20.0 : 60.0);
+  Instance tpcc = MakeTpccInstance();
+  const std::string base_text = WriteInstanceText(tpcc);
+  const std::string shifted_text =
+      WriteInstanceText(ScaleFrequencies(tpcc, 1.05));
+
+  std::vector<double> cold_s, exact_s, seeded_s;
+  std::vector<double> seeded_iters, cold_shift_iters;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const std::string socket_base = "/tmp/vpart_bench_serve_" +
+                                    std::to_string(::getpid()) + "_" +
+                                    std::to_string(rep);
+    AdviseServerOptions options;
+    options.num_workers = 1;
+    {
+      // Daemon A: cold solve (miss), byte-identical repeat (exact
+      // canonical-fingerprint hit, re-certified from cache), then the
+      // frequency-shifted request (shape hit seeding the warm-start
+      // ladder with the cached incumbent and root basis).
+      options.socket_path = socket_base + "a.sock";
+      AdviseServer server(options);
+      const Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "serve: start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      auto client = ServeClient::Connect(options.socket_path);
+      if (!client.ok()) {
+        std::fprintf(stderr, "serve: connect failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      const std::string base_request =
+          ServeRequestJson(base_text, time_limit, "cold");
+      cold_s.push_back(ServeRoundtrip(*client, base_request, "miss").seconds);
+      exact_s.push_back(
+          ServeRoundtrip(*client, base_request, "exact").seconds);
+      const ServeSample seeded = ServeRoundtrip(
+          *client, ServeRequestJson(shifted_text, time_limit, "seeded"),
+          "shape");
+      seeded_s.push_back(seeded.seconds);
+      seeded_iters.push_back(seeded.iterations);
+      server.Shutdown();
+    }
+    {
+      // Daemon B: fresh cache, so the shifted problem solves cold — the
+      // simplex-iteration baseline the seeded solve must beat.
+      options.socket_path = socket_base + "b.sock";
+      AdviseServer server(options);
+      const Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "serve: start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      auto client = ServeClient::Connect(options.socket_path);
+      if (!client.ok()) {
+        std::fprintf(stderr, "serve: connect failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      cold_shift_iters.push_back(
+          ServeRoundtrip(
+              *client,
+              ServeRequestJson(shifted_text, time_limit, "cold-shift"),
+              "miss")
+              .iterations);
+      server.Shutdown();
+    }
+  }
+
+  const double cold = MinSeconds(cold_s);
+  const double exact = MinSeconds(exact_s);
+  const double seeded = MinSeconds(seeded_s);
+  const double speedup = exact > 0.0 ? cold / exact : 0.0;
+  const double cold_iter = MedianSeconds(cold_shift_iters);
+  const double seeded_iter = MedianSeconds(seeded_iters);
+  const bool speedup_ok = speedup >= 10.0;
+  const bool iter_ok = seeded_iter < cold_iter;
+  bool ok = speedup_ok && iter_ok;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"serve_cache_tpcc\": {\n");
+  std::printf("    \"workload\": \"TPC-C ILP sites=2 over a Unix socket; "
+              "shifted = query frequencies x1.05\",\n");
+  std::printf("    \"repetitions\": %d,\n", repetitions);
+  std::printf("    \"cold_min_seconds\": %.6f,\n", cold);
+  std::printf("    \"exact_hit_min_seconds\": %.6f,\n", exact);
+  std::printf("    \"seeded_min_seconds\": %.6f,\n", seeded);
+  std::printf("    \"exact_speedup\": %.1f,\n", speedup);
+  std::printf("    \"exact_speedup_gate_10x_ok\": %s,\n",
+              speedup_ok ? "true" : "false");
+  std::printf("    \"cold_median_iterations\": %.0f,\n", cold_iter);
+  std::printf("    \"seeded_median_iterations\": %.0f,\n", seeded_iter);
+  std::printf("    \"iteration_reduction_percent\": %.1f,\n",
+              cold_iter > 0.0
+                  ? 100.0 * (cold_iter - seeded_iter) / cold_iter
+                  : 0.0);
+  std::printf("    \"seeded_iterations_gate_ok\": %s\n",
+              iter_ok ? "true" : "false");
+  std::printf("  }\n");
+  std::printf("}\n");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "serve: cache gate violated (exact speedup %.1fx vs >=10x, "
+                 "seeded iterations %.0f vs cold %.0f)\n",
+                 speedup, seeded_iter, cold_iter);
+  }
+  if (baseline_path != nullptr) {
+    ok &= CheckServeBaseline(baseline_path, cold);
+  }
+  return ok ? 0 : 1;
+}
+
 int Main(bool api_only, bool cost_model_only) {
   if (cost_model_only) {
     Instance tpcc = MakeTpccInstance();
@@ -885,6 +1156,24 @@ int main(int argc, char** argv) {
       }
     }
     return vpart::bench::MipCoreMain(quick, baseline, history, trace);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
+    bool quick = false;
+    const char* baseline = nullptr;
+    for (int arg = 2; arg < argc; ++arg) {
+      if (std::strcmp(argv[arg], "--quick") == 0) {
+        quick = true;
+      } else if (std::strcmp(argv[arg], "--baseline") == 0 &&
+                 arg + 1 < argc) {
+        baseline = argv[++arg];
+      } else {
+        std::fprintf(stderr,
+                     "usage: bench_parallel --serve [--quick] "
+                     "[--baseline FILE]\n");
+        return 2;
+      }
+    }
+    return vpart::bench::ServeMain(quick, baseline);
   }
   if (argc > 1 && std::strcmp(argv[1], "--obs") == 0) {
     bool quick = false;

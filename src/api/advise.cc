@@ -242,11 +242,24 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
                                       request.cost, request.cost_model);
     VPART_RETURN_IF_ERROR(solve_model.status());
   }
+  // Cross-request warm seeds carry partitionings in ORIGINAL attribute
+  // space (that's what responses hold); when the §4 reduction is active,
+  // collapse the incumbent onto the reduced instance so the solver can
+  // consume it. A seed that does not fit the solve instance is dropped by
+  // the solver-side validation, never an error.
+  AdviseRequest seeded_request;
+  const AdviseRequest* active_request = &request;
+  if (grouped && request.warm.incumbent != nullptr) {
+    seeded_request = request;
+    seeded_request.warm.incumbent = std::make_shared<const Partitioning>(
+        grouping->CollapsePartitioning(*request.warm.incumbent));
+    active_request = &seeded_request;
+  }
   StatusOr<SolverRun> run = InvalidArgumentError("unsolved");
   {
     Span solve_span("solve", "api");
     solve_span.AddArg("solver", *resolved);
-    run = (*solver)->Solve(**solve_model, request, ctx);
+    run = (*solver)->Solve(**solve_model, *active_request, ctx);
     VPART_RETURN_IF_ERROR(run.status());
   }
 
@@ -301,6 +314,7 @@ StatusOr<AdviseResponse> AdviseWithHooks(const Instance& instance,
   response.best_bound = run->best_bound;
   response.search_exhausted = run->search_exhausted;
   response.pruned_by_external_bound = run->pruned_by_external_bound;
+  response.root_basis = run->root_basis;
   if (hooks.user_cancelled != nullptr &&
       hooks.user_cancelled->load(std::memory_order_relaxed)) {
     response.outcome = AdviseOutcome::kCancelled;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,28 @@
 #include "util/status.h"
 
 namespace vpart {
+
+class Basis;  // lp/simplex.h
+
+/// In-process warm-start seed attached by the serve layer on shape-level
+/// cache hits (see serve/solution_cache.h). Never serialized — request JSON
+/// cannot carry it; the daemon fills it from its own cache. Both fields are
+/// heuristics: an incumbent that fails validation is ignored and a basis
+/// that mismatches the model shape falls back to a cold root solve, so a
+/// stale seed can cost time but never correctness.
+struct WarmSeed {
+  /// Starting incumbent in the ORIGINAL instance's attribute space (the
+  /// orchestrator re-encodes it for the solve instance). Consumed by the
+  /// ilp solver (replacing its internal SA warm start) and published into
+  /// the portfolio's shared incumbent before any lane starts.
+  std::shared_ptr<const Partitioning> incumbent;
+  /// Terminal root-relaxation basis of a previous same-shaped solve; seeds
+  /// MipOptions::root_basis through the PR 4 warm-start ladder. Ignored
+  /// under latency_penalty > 0 (ψ variables change the model shape).
+  std::shared_ptr<const Basis> root_basis;
+
+  bool empty() const { return incumbent == nullptr && root_basis == nullptr; }
+};
 
 /// Typed per-solver option blocks. Each block only applies when the named
 /// solver (or the portfolio racing it) runs; unrelated blocks are ignored.
@@ -121,6 +144,9 @@ struct AdviseRequest {
   ExhaustiveRequestOptions exhaustive;
   IncrementalRequestOptions incremental;
   PortfolioRequestOptions portfolio;
+
+  /// Cross-request warm-start seed (in-process only; see WarmSeed).
+  WarmSeed warm;
 };
 
 /// How a request finished. Deadline expiry is kComplete (the solver
@@ -173,6 +199,11 @@ struct AdviseResponse {
   /// see shared totals (documented in DESIGN.md).
   JsonValue metrics;
   JsonValue trace_summary;
+  /// Terminal basis of the root relaxation when a branch & bound ran with
+  /// warm starts enabled (null otherwise). The serve layer caches it and
+  /// feeds it back via AdviseRequest::warm on same-shaped requests. Never
+  /// serialized to JSON.
+  std::shared_ptr<const Basis> root_basis;
 };
 
 /// Hooks threaded through a solve; every field is optional. `token` copies

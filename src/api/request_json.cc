@@ -6,6 +6,7 @@
 
 #include "api/solver_registry.h"
 #include "cost/cost_model_registry.h"
+#include "engine/batch_advisor.h"
 #include "instances/random_instance.h"
 #include "instances/tpcc.h"
 #include "util/string_util.h"
@@ -15,14 +16,17 @@ namespace vpart {
 namespace {
 
 /// Tracks which keys of `object` were consumed so leftovers can be
-/// reported as errors (a mistyped knob must not silently default).
+/// reported as errors (a mistyped knob must not silently default). Every
+/// Find/Read call also registers its key as *valid* for this block, so the
+/// unknown-key and missing-key errors can tell the caller what would have
+/// been accepted instead of just rejecting the request.
 class ObjectReader {
  public:
   ObjectReader(const JsonValue& object, std::string path)
       : object_(object), path_(std::move(path)) {}
 
   const JsonValue* Find(const std::string& key) {
-    seen_.insert(key);
+    if (seen_.insert(key).second) known_.push_back(key);
     return object_.Find(key);
   }
 
@@ -79,15 +83,25 @@ class ObjectReader {
     return Status::Ok();
   }
 
-  /// All keys consumed? Otherwise an error naming the first stranger.
+  /// All keys consumed? Otherwise an error naming the first stranger and
+  /// listing every key this block accepts. Call only after all Find/Read
+  /// calls for the block, so the valid-key list is complete.
   Status CheckNoUnknownKeys() const {
     for (const JsonValue::Member& member : object_.as_object()) {
       if (seen_.count(member.first) == 0) {
         return InvalidArgumentError("unknown key \"" + member.first +
-                                    "\" in " + path_);
+                                    "\" in " + path_ +
+                                    " (valid keys: " + KnownKeys() + ")");
       }
     }
     return Status::Ok();
+  }
+
+  /// Error for a required key that is absent, naming the key and the
+  /// block's valid keys. Like CheckNoUnknownKeys, call after all reads.
+  Status MissingKeyError(const std::string& key) const {
+    return InvalidArgumentError(path_ + " is missing required key \"" + key +
+                                "\" (valid keys: " + KnownKeys() + ")");
   }
 
  private:
@@ -96,9 +110,13 @@ class ObjectReader {
                                 " must be " + expected);
   }
 
+  /// The keys read so far, in declaration order.
+  std::string KnownKeys() const { return JoinStrings(known_, ", "); }
+
   const JsonValue& object_;
   std::string path_;
   std::set<std::string> seen_;
+  std::vector<std::string> known_;  // insertion-ordered mirror of seen_
 };
 
 Status ParseInstanceSpec(const JsonValue& spec, CliRequest& out) {
@@ -140,11 +158,13 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
   AdviseRequest& request = cli.request;
   ObjectReader reader(*parsed, "request");
 
+  // Registered first so "instance" leads the valid-key listing; the
+  // missing-key error itself is raised after every key is registered, so
+  // it can enumerate the full schema.
   const JsonValue* instance_spec = reader.Find("instance");
-  if (instance_spec == nullptr) {
-    return InvalidArgumentError("request needs an \"instance\" object");
+  if (instance_spec != nullptr) {
+    VPART_RETURN_IF_ERROR(ParseInstanceSpec(*instance_spec, cli));
   }
-  VPART_RETURN_IF_ERROR(ParseInstanceSpec(*instance_spec, cli));
 
   VPART_RETURN_IF_ERROR(reader.ReadString("solver", &request.solver));
   VPART_RETURN_IF_ERROR(reader.ReadInt("num_sites", &request.num_sites));
@@ -287,7 +307,33 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
   VPART_RETURN_IF_ERROR(
       reader.ReadBool("emit_partitioning", &cli.emit_partitioning));
   VPART_RETURN_IF_ERROR(reader.ReadBool("emit_events", &cli.emit_events));
+  if (const JsonValue* serve = reader.Find("serve")) {
+    if (!serve->is_object()) {
+      return InvalidArgumentError("\"serve\" must be an object");
+    }
+    ObjectReader serve_reader(*serve, "\"serve\"");
+    VPART_RETURN_IF_ERROR(serve_reader.ReadString("id", &cli.serve.id));
+    VPART_RETURN_IF_ERROR(serve_reader.ReadDouble(
+        "deadline_seconds", &cli.serve.deadline_seconds));
+    std::string qos_text;
+    VPART_RETURN_IF_ERROR(serve_reader.ReadString("qos", &qos_text));
+    if (!qos_text.empty()) {
+      if (qos_text == "interactive") {
+        cli.serve.qos = ServeQos::kInteractive;
+      } else if (qos_text == "batch") {
+        cli.serve.qos = ServeQos::kBatch;
+      } else {
+        return InvalidArgumentError(
+            "\"serve.qos\" must be \"interactive\" or \"batch\" (got \"" +
+            qos_text + "\")");
+      }
+    }
+    VPART_RETURN_IF_ERROR(serve_reader.CheckNoUnknownKeys());
+  }
   VPART_RETURN_IF_ERROR(reader.CheckNoUnknownKeys());
+  if (instance_spec == nullptr) {
+    return reader.MissingKeyError("instance");
+  }
 
   if (request.num_sites < 1) {
     return InvalidArgumentError("\"num_sites\" must be >= 1");
@@ -397,6 +443,41 @@ JsonValue ProgressEventToJson(const ProgressEvent& event) {
   if (event.lp.lp_solves > 0) {
     out.Set("lp", LpSolveStatsToJson(event.lp));
   }
+  return out;
+}
+
+JsonValue BatchAdvisorResultToJson(const Instance& instance,
+                                   const BatchAdvisorResult& result,
+                                   bool emit_partitioning) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("status", "complete");
+  out.Set("instance", instance.name());
+  out.Set("mode", "batch");
+  JsonValue tables = JsonValue::MakeArray();
+  for (const TableAdvice& advice : result.tables) {
+    JsonValue table = JsonValue::MakeObject();
+    table.Set("table", advice.table_name);
+    table.Set("algorithm", advice.result.algorithm_used);
+    table.Set("cost", advice.result.cost);
+    table.Set("single_site_cost", advice.result.single_site_cost);
+    table.Set("reduction_percent", advice.result.reduction_percent);
+    table.Set("proven_optimal", advice.result.proven_optimal);
+    tables.Append(std::move(table));
+  }
+  out.Set("tables", std::move(tables));
+  JsonValue combined = JsonValue::MakeObject();
+  combined.Set("algorithm", result.combined.algorithm_used);
+  combined.Set("cost", result.combined.cost);
+  combined.Set("single_site_cost", result.combined.single_site_cost);
+  combined.Set("reduction_percent", result.combined.reduction_percent);
+  combined.Set("proven_optimal", result.combined.proven_optimal);
+  if (emit_partitioning) {
+    combined.Set("partitioning",
+                 PartitioningToJson(instance, result.combined.partitioning));
+  }
+  out.Set("combined", std::move(combined));
+  out.Set("threads_used", result.threads_used);
+  out.Set("seconds", result.seconds);
   return out;
 }
 

@@ -45,10 +45,28 @@ namespace vpart {
 ///                   "run_incremental": true},
 ///     "batch": false,                            // per-table whole-schema
 ///     "emit_partitioning": true,
-///     "emit_events": false
+///     "emit_events": false,
+///     "serve": {"id": "req-1", "deadline_seconds": 10,
+///               "qos": "interactive"}             // daemon-mode envelope
 ///   }
 ///
 /// Only "instance" is required; everything else defaults as above.
+
+/// Admission class for daemon-mode requests: interactive requests are
+/// dequeued ahead of batch ones when the worker pool is contended.
+enum class ServeQos { kInteractive, kBatch };
+
+/// The "serve" envelope: daemon-only fields ignored by the one-shot CLI.
+struct ServeRequestOptions {
+  /// Client-chosen id echoed back in the response ("" = server-assigned).
+  std::string id;
+  /// Admission deadline: the request is dropped (typed deadline_exceeded
+  /// error) if it cannot finish within this budget. <= 0 means the server
+  /// default applies.
+  double deadline_seconds = 0;
+  ServeQos qos = ServeQos::kInteractive;
+};
+
 struct CliRequest {
   // Exactly one of these is non-empty.
   std::string instance_file;
@@ -62,6 +80,7 @@ struct CliRequest {
   bool batch = false;
   bool emit_partitioning = true;
   bool emit_events = false;
+  ServeRequestOptions serve;
 };
 
 /// Parses and validates the JSON text above.
@@ -81,6 +100,16 @@ JsonValue AdviseResponseToJson(const Instance& instance,
 /// table.attribute -> sites), mirroring partitioning_io's text format.
 JsonValue PartitioningToJson(const Instance& instance,
                              const Partitioning& partitioning);
+
+struct BatchAdvisorResult;  // engine/batch_advisor.h
+
+/// Response document for a whole-schema batch run (per-table advice plus
+/// the combined layout), shared by the CLI and the serve daemon. Obs
+/// telemetry is the caller's to attach (it comes from process-global
+/// registries the serializer must not snapshot on its own).
+JsonValue BatchAdvisorResultToJson(const Instance& instance,
+                                   const BatchAdvisorResult& result,
+                                   bool emit_partitioning);
 
 JsonValue ProgressEventToJson(const ProgressEvent& event);
 

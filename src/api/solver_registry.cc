@@ -48,9 +48,7 @@ class ExhaustiveAdapter : public Solver {
     ex.max_candidates = request.exhaustive.max_candidates;
     // The raw flag alone would miss the deadline (expiry only latches it
     // when someone polls cancelled()); pass the remaining budget too.
-    ex.time_limit_seconds = ctx.token.HasDeadline()
-                                ? ctx.token.RemainingSeconds()
-                                : request.time_limit_seconds;
+    ex.time_limit_seconds = ctx.token.SolverBudgetSeconds();
     ex.cancel_flag = ctx.token.flag();
     std::optional<Span> enum_span;
     enum_span.emplace("exhaustive_enumeration", "solver");
@@ -114,9 +112,7 @@ class SaAdapter : public Solver {
     sa.seed = request.seed;
     sa.allow_replication = request.allow_replication;
     sa.max_restarts = request.sa.max_restarts;
-    sa.time_limit_seconds = ctx.token.HasDeadline()
-                                ? ctx.token.RemainingSeconds()
-                                : request.time_limit_seconds;
+    sa.time_limit_seconds = ctx.token.SolverBudgetSeconds();
     sa.cancel_flag = ctx.token.flag();
     double best_seen = kInf;
     // Each SaProgress tick marks the end of one anneal: turn the interval
@@ -174,9 +170,7 @@ class IlpAdapter : public Solver {
     ilp.formulation.num_sites = request.num_sites;
     ilp.formulation.allow_replication = request.allow_replication;
     ilp.latency_penalty = request.latency_penalty;
-    ilp.mip.time_limit_seconds = ctx.token.HasDeadline()
-                                     ? ctx.token.RemainingSeconds()
-                                     : request.time_limit_seconds;
+    ilp.mip.time_limit_seconds = ctx.token.SolverBudgetSeconds();
     ilp.mip.relative_gap = request.ilp.mip_gap;
     ilp.mip.enable_dive = request.ilp.enable_dive;
     ilp.mip.num_threads = request.ilp.bnb_threads > 0
@@ -184,6 +178,8 @@ class IlpAdapter : public Solver {
                               : std::max(1, request.num_threads);
     ilp.mip.cancel_flag = ctx.token.flag();
     ilp.mip.lp_options.audit_level = request.ilp.lp_audit;
+    // Cross-request root-basis seed (ilp_solver skips it under latency).
+    ilp.root_basis = request.warm.root_basis;
 
     // Track the cost of the latest decoded incumbent so tree-level ticks
     // (which only know the scalarized objective) can report objective (4).
@@ -217,10 +213,24 @@ class IlpAdapter : public Solver {
       };
     }
 
+    // A cached cross-request incumbent (serve layer, shape-level cache
+    // hit) replaces the internal SA warm start entirely: it is already a
+    // full solution of a structurally identical instance, so burning the
+    // warm-start budget on a fresh anneal would only duplicate it.
+    const Partitioning* seed_incumbent = nullptr;
+    if (request.warm.incumbent != nullptr &&
+        ValidatePartitioning(cost_model.instance(), *request.warm.incumbent,
+                             !request.allow_replication)
+            .ok()) {
+      seed_incumbent = request.warm.incumbent.get();
+      ilp.warm_start = seed_incumbent;
+    }
+
     // Seed the branch & bound with a quick SA incumbent (the legacy path's
     // warm start; dramatically improves pruning on large models).
     SaResult warm;
-    const bool have_warm = request.ilp.warm_start_seconds > 0;
+    const bool have_warm =
+        seed_incumbent == nullptr && request.ilp.warm_start_seconds > 0;
     if (have_warm) {
       SaOptions warm_sa;
       warm_sa.seed = request.seed;
@@ -250,10 +260,14 @@ class IlpAdapter : public Solver {
     run.best_bound = result.best_bound;
     run.search_exhausted = result.search_exhausted;
     run.pruned_by_external_bound = result.pruned_by_external_bound;
+    run.root_basis = result.root_basis;
     if (result.ok()) {
       run.partitioning = std::move(*result.partitioning);
       run.algorithm = kSolverIlp;
       run.proven_optimal = result.status == MipStatus::kOptimal;
+    } else if (seed_incumbent != nullptr) {
+      run.partitioning = *seed_incumbent;
+      run.algorithm = "ilp(timeout)->seed";
     } else if (have_warm) {
       run.partitioning = std::move(warm.partitioning);
       run.algorithm = "ilp(timeout)->sa";
@@ -276,10 +290,7 @@ class IncrementalAdapter : public Solver {
     inc.batches = request.incremental.batches;
     inc.sa.seed = request.seed;
     inc.sa.allow_replication = request.allow_replication;
-    inc.sa.time_limit_seconds = (ctx.token.HasDeadline()
-                                     ? ctx.token.RemainingSeconds()
-                                     : request.time_limit_seconds) /
-                                2;
+    inc.sa.time_limit_seconds = ctx.token.SolverBudgetSeconds() / 2;
     inc.sa.cancel_flag = ctx.token.flag();
     // As in SaAdapter: a progress tick closes one growth round, so the
     // inter-tick interval becomes an "incremental_round" span.
@@ -349,6 +360,10 @@ class PortfolioAdapter : public Solver {
     portfolio.run_incremental = request.portfolio.run_incremental;
     portfolio.lp_audit = request.ilp.lp_audit;
     portfolio.cancel_token = &ctx.token;
+    // Cross-request seeds: the incumbent is published into the shared
+    // best before any lane starts; the basis seeds the ILP lane's root.
+    portfolio.initial_incumbent = request.warm.incumbent;
+    portfolio.root_basis = request.warm.root_basis;
     std::atomic<long> publications{0};
     if (ctx.incumbent || ctx.progress) {
       portfolio.on_incumbent = [&](const Partitioning& p, double scalarized,
@@ -392,6 +407,7 @@ class PortfolioAdapter : public Solver {
     run.best_bound = raced->ilp_best_bound;
     run.search_exhausted = raced->ilp_search_exhausted;
     run.pruned_by_external_bound = raced->ilp_pruned_by_external_bound;
+    run.root_basis = raced->ilp_root_basis;
     return run;
   }
 };

@@ -68,6 +68,10 @@ struct SolverRun {
   double best_bound = -std::numeric_limits<double>::infinity();
   bool search_exhausted = false;
   bool pruned_by_external_bound = false;
+  /// Terminal root-relaxation basis when a branch & bound ran (the ilp
+  /// solver, the portfolio's ILP lane); null otherwise. Flows out through
+  /// AdviseResponse::root_basis for the serve layer's cache.
+  std::shared_ptr<const Basis> root_basis;
 };
 
 /// Interface every registered solver implements. Solve() is called with the

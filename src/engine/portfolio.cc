@@ -14,6 +14,7 @@
 #include "solver/incremental_solver.h"
 #include "solver/sa_solver.h"
 #include "util/logging.h"
+#include "util/deadline.h"
 #include "util/stopwatch.h"
 
 namespace vpart {
@@ -117,28 +118,36 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     lanes.push_back(std::move(lane));
   };
 
+  // Cross-request seed: publish before any lane starts, so SA warm-starts
+  // from it and the B&B prunes against its bound from node one. publish()
+  // validates, so a stale seed is simply ignored.
+  if (options.initial_incumbent != nullptr) {
+    publish(*options.initial_incumbent, "seed");
+  }
+
   // On a pool too small to actually race, the heuristic lanes serialize in
   // front of the ILP and must not eat the whole wall clock.
   const bool lanes_race = pool_size >= 2;
-  const double race_budget =
-      token.HasDeadline() ? token.RemainingSeconds() : 0.0;
+  const double race_budget = token.SolverBudgetSeconds();
+  // 0 means "no slice cap" (the Deadline convention for unlimited).
   const double heuristic_budget =
-      (lanes_race || race_budget <= 0)
-          ? std::numeric_limits<double>::infinity()
-          : race_budget * 0.25;
+      (lanes_race || race_budget <= 0) ? 0.0 : race_budget * 0.25;
 
   // --- SA lane: short re-anneal slices, each warm-started from the current
   // leader and published back, until the deadline or the ILP's proof.
   auto sa_lane = [&]() {
     Stopwatch lane_watch;
+    // Per-lane slice cap under the global token deadline; unlimited when the
+    // lanes genuinely race (heuristic_budget == 0).
+    Deadline lane_deadline = Deadline::After(heuristic_budget);
     Span lane_span("lane:sa", "portfolio");
     PortfolioLane lane;
     lane.name = "sa";
     uint64_t slice_seed = options.seed;
     while (!token.cancelled()) {
+      if (lane_deadline.Expired()) break;
       const double remaining =
-          std::min(token.RemainingSeconds(),
-                   heuristic_budget - lane_watch.ElapsedSeconds());
+          token.deadline().RemainingUnder(lane_deadline.RemainingSeconds());
       if (remaining < 1e-3) break;
       SaOptions sa;
       sa.seed = slice_seed;
@@ -174,8 +183,11 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     inc.sa.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
     inc.sa.allow_replication = options.allow_replication;
     inc.sa.cancel_flag = token.flag();
+    // Half the global budget, further clipped by the serialized-lane slice
+    // (heuristic_budget == 0 means no slice cap).
     inc.sa.time_limit_seconds =
-        std::min(token.RemainingSeconds() / 2, heuristic_budget);
+        Deadline::After(token.RemainingSeconds() / 2)
+            .RemainingUnder(heuristic_budget);
     SaResult result =
         SolveIncrementally(cost_model, options.num_sites, inc);
     publish(result.partitioning, "incremental");
@@ -197,17 +209,19 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
     ilp.formulation.num_sites = options.num_sites;
     ilp.formulation.allow_replication = options.allow_replication;
     ilp.mip.relative_gap = options.relative_gap;
-    ilp.mip.time_limit_seconds = token.RemainingSeconds();
+    ilp.mip.time_limit_seconds = token.SolverBudgetSeconds();
     ilp.mip.num_threads = bnb_threads;
     ilp.mip.external_upper_bound = shared.bound();
     ilp.mip.cancel_flag = token.flag();
     ilp.mip.lp_options.audit_level = options.lp_audit;
+    ilp.root_basis = options.root_basis;
     IlpSolveResult result = SolveWithIlp(cost_model, ilp);
     lane.nodes = result.nodes;
     lane.lp_stats = result.lp_stats;
     lane.best_bound = result.best_bound;
     lane.search_exhausted = result.search_exhausted;
     lane.pruned_by_external_bound = result.pruned_by_external_bound;
+    lane.root_basis = result.root_basis;
     if (result.ok()) {
       publish(*result.partitioning, "ilp");
       lane.has_solution = true;
@@ -247,6 +261,7 @@ StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,
       result.ilp_best_bound = lane.best_bound;
       result.ilp_search_exhausted = lane.search_exhausted;
       result.ilp_pruned_by_external_bound = lane.pruned_by_external_bound;
+      result.ilp_root_basis = lane.root_basis;
     }
   }
   result.proven_optimal = proof_done.load(std::memory_order_relaxed);

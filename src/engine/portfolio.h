@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "util/status.h"
 
 namespace vpart {
+
+class Basis;  // lp/simplex.h
 
 /// Races the repo's solvers concurrently on one instance: the linearized
 /// ILP (branch & bound), restart-sliced simulated annealing, and the §4
@@ -59,6 +62,14 @@ struct PortfolioOptions {
   std::function<void(const Partitioning& partitioning, double scalarized,
                      double cost, const std::string& lane, double elapsed)>
       on_incumbent;
+  /// Cross-request seeds (see api/advise.h WarmSeed). The incumbent — in
+  /// the SOLVE instance's attribute space — is published into the shared
+  /// incumbent before any lane starts (after the usual validation, so a
+  /// stale seed is silently dropped), letting every lane warm-start/prune
+  /// from it. The basis seeds the ILP lane's root relaxation
+  /// (MipOptions::root_basis). Both are heuristics; null means cold.
+  std::shared_ptr<const Partitioning> initial_incumbent;
+  std::shared_ptr<const Basis> root_basis;
 };
 
 /// Per-lane telemetry of one race.
@@ -76,6 +87,8 @@ struct PortfolioLane {
   double best_bound = -std::numeric_limits<double>::infinity();
   bool search_exhausted = false;
   bool pruned_by_external_bound = false;
+  /// ILP lane only: terminal root-relaxation basis (see PortfolioResult).
+  std::shared_ptr<const Basis> root_basis;
 };
 
 struct PortfolioResult {
@@ -98,6 +111,10 @@ struct PortfolioResult {
   double ilp_best_bound = -std::numeric_limits<double>::infinity();
   bool ilp_search_exhausted = false;
   bool ilp_pruned_by_external_bound = false;
+  /// Terminal root-relaxation basis of the ILP lane (null when the lane
+  /// did not run or its root never reached optimality); cached by the
+  /// serve layer to seed future same-shaped races.
+  std::shared_ptr<const Basis> ilp_root_basis;
 };
 
 StatusOr<PortfolioResult> SolvePortfolio(const CostCoefficients& cost_model,

@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "util/stopwatch.h"
+#include "util/deadline.h"
 
 namespace vpart {
 
@@ -41,6 +41,17 @@ class CancellationToken {
   double RemainingSeconds() const { return state_->deadline.RemainingSeconds(); }
 
   bool HasDeadline() const { return state_->deadline.HasLimit(); }
+
+  /// The underlying deadline (unlimited when the token has none). Use the
+  /// Deadline helpers (SolverBudgetSeconds, RemainingUnder) instead of
+  /// re-deriving budget math at call sites.
+  const Deadline& deadline() const { return state_->deadline; }
+
+  /// Shorthand for deadline().SolverBudgetSeconds(): remaining seconds in
+  /// the `time_limit_seconds` solver-options encoding (0 = unlimited).
+  double SolverBudgetSeconds() const {
+    return state_->deadline.SolverBudgetSeconds();
+  }
 
   /// Raw flag handle. Deadline expiry reaches the flag lazily — it latches
   /// whenever any copy of the token polls cancelled().

@@ -10,7 +10,7 @@
 #include "lp/model.h"
 #include "lp/pricing.h"
 #include "lp/solve_stats.h"
-#include "util/stopwatch.h"
+#include "util/deadline.h"
 
 namespace vpart {
 

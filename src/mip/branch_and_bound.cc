@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/deadline.h"
 #include "util/stopwatch.h"
 
 namespace vpart {
@@ -387,6 +388,10 @@ MipResult BranchAndBound::Run() {
   std::vector<Node> nodes;
   nodes.reserve(1024);
   Node root;
+  // Cross-request seed: the root reoptimizes from a prior solve's terminal
+  // root basis instead of a cold two-phase primal. Mismatches fall back
+  // cold inside NodeLpSolver.
+  root.warm = options_.root_basis;
   nodes.push_back(root);
   std::vector<int> stack = {0};
   open_bounds_.insert(-kLpInfinity);
@@ -448,7 +453,18 @@ MipResult BranchAndBound::Run() {
     }
 
     const double lp_bound = lp.objective;
-    if (node_index == 0) root_bound_ = lp_bound;
+    if (node_index == 0) {
+      root_bound_ = lp_bound;
+      // Export the root relaxation's optimal basis before any dive reuses
+      // the engine; a future same-shaped solve seeds its root with it.
+      if (node_lp_.warm_enabled()) {
+        Basis saved = node_lp_.SaveBasis();
+        if (saved.valid()) {
+          result_.root_basis =
+              std::make_shared<const Basis>(std::move(saved));
+        }
+      }
+    }
     if (PruneBound(lp_bound)) continue;
 
     const int branch_var =
@@ -631,6 +647,7 @@ class ParallelBranchAndBound {
   double incumbent_obj_ = kLpInfinity;
   std::vector<double> incumbent_;
   double root_bound_ = -kLpInfinity;
+  std::shared_ptr<const Basis> root_basis_;
   long nodes_processed_ = 0;
   LpSolveStats lp_stats_;
   std::atomic<bool> diving_{false};
@@ -787,7 +804,17 @@ void ParallelBranchAndBound::ProcessNode(
       EraseOpenBoundLocked(node->bound);
       return;
     }
-    if (node->id == 0) root_bound_ = lp.objective;
+    if (node->id == 0) {
+      root_bound_ = lp.objective;
+      // Snapshot for cross-request root seeding; only the root's worker
+      // reaches here, and the per-worker engine still holds its basis.
+      if (lp_solver.warm_enabled()) {
+        Basis saved = lp_solver.SaveBasis();
+        if (saved.valid()) {
+          root_basis_ = std::make_shared<const Basis>(std::move(saved));
+        }
+      }
+    }
     if (PruneBoundLocked(lp.objective)) {
       EraseOpenBoundLocked(node->bound);
       return;
@@ -930,6 +957,7 @@ MipResult ParallelBranchAndBound::Run() {
 
   auto root = std::make_shared<PNode>();
   root->bound = -kLpInfinity;
+  root->warm = options_.root_basis;  // cross-request seed; see serial search
   open_.insert({root->bound, root->id, root});
   open_bounds_.insert(root->bound);
 
@@ -947,6 +975,7 @@ MipResult ParallelBranchAndBound::Run() {
   result.nodes = nodes_processed_;
   result.lp_stats = lp_stats_;
   result.lp_iterations = lp_stats_.total_iterations();
+  result.root_basis = root_basis_;
 
   const bool exhausted_tree = open_.empty();
   double open_min = kLpInfinity;

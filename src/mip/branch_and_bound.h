@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,13 @@ struct MipOptions {
   /// Optional warm-start incumbent (full variable assignment). Checked for
   /// feasibility; ignored if infeasible.
   const std::vector<double>* initial_solution = nullptr;
+  /// Optional seed basis for the ROOT relaxation — typically the terminal
+  /// root basis of a previous solve over a same-shaped model (cross-request
+  /// warm start). Purely a heuristic: it rides the same fallback ladder as
+  /// parent-basis warm starts, so a stale or mismatched basis costs one
+  /// failed load/reoptimize and the root falls back to a cold solve.
+  /// Requires use_warm_start; ignored when null.
+  std::shared_ptr<const Basis> root_basis;
   /// Run a rounding dive (fix the most-decided fractional, re-solve) at the
   /// root and periodically until an incumbent exists. Cheap primal
   /// heuristic standing in for the ones inside industrial solvers.
@@ -108,6 +116,10 @@ struct MipResult {
   /// bound than the search's own incumbent). When true, kInfeasible means
   /// "nothing better than the external bound", not literal infeasibility.
   bool pruned_by_external_bound = false;
+  /// Optimal basis of the root relaxation (null when the root LP did not
+  /// reach optimality or warm starting was off). Feed it to a later solve's
+  /// MipOptions::root_basis to skip the cold two-phase primal at its root.
+  std::shared_ptr<const Basis> root_basis;
 
   bool has_incumbent() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;

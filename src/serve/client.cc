@@ -1,0 +1,73 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace vpart {
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+StatusOr<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("bad socket path: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket() failed: ") +
+                         std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return NotFoundError("connect(" + socket_path + ") failed: " + detail);
+  }
+  ServeClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status ServeClient::Send(const std::string& request_json) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  return WriteFrame(fd_, request_json);
+}
+
+StatusOr<std::string> ServeClient::Receive() {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  return ReadFrame(fd_);
+}
+
+StatusOr<std::string> ServeClient::Roundtrip(const std::string& request_json) {
+  VPART_RETURN_IF_ERROR(Send(request_json));
+  return Receive();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace vpart

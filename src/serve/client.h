@@ -1,0 +1,48 @@
+#ifndef VPART_SERVE_CLIENT_H_
+#define VPART_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace vpart {
+
+/// Blocking client for the advisor daemon's framed-JSON protocol
+/// (serve/protocol.h). Move-only; the move source is left disconnected.
+/// Not thread-safe: callers pipelining from several threads must hold
+/// their own send/receive locks (responses complete in solve order and
+/// correlate by `serve.id`, not by request order).
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to the daemon's Unix domain socket.
+  static StatusOr<ServeClient> Connect(const std::string& socket_path);
+
+  /// Sends one request frame (the JSON text of a CliRequest document).
+  Status Send(const std::string& request_json);
+
+  /// Blocks for the next response frame. NotFound("connection closed")
+  /// when the daemon hung up cleanly between frames (IsCleanClose).
+  StatusOr<std::string> Receive();
+
+  /// Send + Receive. Only meaningful when no other request is in flight
+  /// on this connection.
+  StatusOr<std::string> Roundtrip(const std::string& request_json);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_SERVE_CLIENT_H_

@@ -1,0 +1,407 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace vpart {
+namespace {
+
+// --- Hashing primitives. Colors are 64-bit values mixed with a
+// splitmix-style finalizer; equality of CONTENT is always decided on the
+// serialized texts, so a color collision can only perturb ordering.
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix(uint64_t seed, uint64_t value) {
+  return SplitMix(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                          (seed >> 2)));
+}
+
+uint64_t HashDouble(double d) {
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return SplitMix(bits);
+}
+
+/// Folds a multiset of neighbor contributions order-independently by
+/// sorting before the fold (the WL signature).
+uint64_t FoldSorted(uint64_t own, std::vector<uint64_t>& contributions) {
+  std::sort(contributions.begin(), contributions.end());
+  uint64_t h = Mix(0x5ca1ab1e, own);
+  for (uint64_t c : contributions) h = Mix(h, c);
+  return h;
+}
+
+// Edge tags, one per (relation, direction).
+constexpr uint64_t kTableHasAttr = 1;
+constexpr uint64_t kAttrInTable = 2;
+constexpr uint64_t kTxnHasQuery = 3;
+constexpr uint64_t kQueryInTxn = 4;
+constexpr uint64_t kQueryRefsAttr = 5;
+constexpr uint64_t kAttrRefdByQuery = 6;
+constexpr uint64_t kQueryTouchesTable = 7;
+constexpr uint64_t kTableTouchedByQuery = 8;
+
+long CountDistinct(std::vector<uint64_t> colors) {
+  std::sort(colors.begin(), colors.end());
+  return std::unique(colors.begin(), colors.end()) - colors.begin();
+}
+
+/// Canonical position arrays for every entity class: indices sorted by
+/// refined color, ties broken by original index (stable sort).
+struct Orders {
+  std::vector<int> tables;
+  std::vector<int> attributes;
+  std::vector<int> transactions;
+  std::vector<int> queries;
+};
+
+std::vector<int> SortByColor(const std::vector<uint64_t>& colors) {
+  std::vector<int> order(colors.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return colors[a] < colors[b]; });
+  return order;
+}
+
+/// WL color refinement over the instance's entity graph. `exact` seeds the
+/// colors with numerics (widths, frequencies, rows), so numerically
+/// distinct but structurally identical entities separate; the shape pass
+/// sees structure and query kind only.
+Orders Canonicalize(const Instance& instance, bool exact) {
+  const Schema& schema = instance.schema();
+  const Workload& workload = instance.workload();
+  const int num_t = schema.num_tables();
+  const int num_a = schema.num_attributes();
+  const int num_x = workload.num_transactions();
+  const int num_q = workload.num_queries();
+
+  // Reverse adjacency the Schema/Workload do not store directly.
+  std::vector<std::vector<int>> attr_queries(num_a);
+  std::vector<std::vector<std::pair<int, double>>> table_queries(num_t);
+  for (int q = 0; q < num_q; ++q) {
+    const Query& query = workload.query(q);
+    for (int a : query.attributes) attr_queries[a].push_back(q);
+    for (const auto& [table, rows] : query.table_rows) {
+      table_queries[table].push_back({q, rows});
+    }
+  }
+
+  std::vector<uint64_t> tables(num_t), attrs(num_a), txns(num_x),
+      queries(num_q);
+  for (int t = 0; t < num_t; ++t) tables[t] = SplitMix(0xAA);
+  for (int a = 0; a < num_a; ++a) {
+    attrs[a] = exact ? Mix(0xBB, HashDouble(schema.attribute(a).width))
+                     : SplitMix(0xBB);
+  }
+  for (int x = 0; x < num_x; ++x) txns[x] = SplitMix(0xCC);
+  for (int q = 0; q < num_q; ++q) {
+    const Query& query = workload.query(q);
+    uint64_t c = Mix(0xDD, query.is_write() ? 2 : 1);
+    if (exact) c = Mix(c, HashDouble(query.frequency));
+    queries[q] = c;
+  }
+
+  // Refine until the partition stops splitting. The distinct-color count
+  // is monotone non-decreasing under WL refinement, so the loop terminates
+  // in at most |V| rounds; typical instances settle in a handful.
+  long distinct = CountDistinct(tables) + CountDistinct(attrs) +
+                  CountDistinct(txns) + CountDistinct(queries);
+  const int max_rounds = num_t + num_a + num_x + num_q + 1;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<uint64_t> next_tables(num_t), next_attrs(num_a),
+        next_txns(num_x), next_queries(num_q);
+    std::vector<uint64_t> sig;
+    for (int t = 0; t < num_t; ++t) {
+      sig.clear();
+      for (int a : schema.table(t).attribute_ids) {
+        sig.push_back(Mix(kTableHasAttr, attrs[a]));
+      }
+      for (const auto& [q, rows] : table_queries[t]) {
+        uint64_t c = Mix(kTableTouchedByQuery, queries[q]);
+        if (exact) c = Mix(c, HashDouble(rows));
+        sig.push_back(c);
+      }
+      next_tables[t] = FoldSorted(tables[t], sig);
+    }
+    for (int a = 0; a < num_a; ++a) {
+      sig.clear();
+      sig.push_back(Mix(kAttrInTable, tables[schema.attribute(a).table_id]));
+      for (int q : attr_queries[a]) {
+        sig.push_back(Mix(kAttrRefdByQuery, queries[q]));
+      }
+      next_attrs[a] = FoldSorted(attrs[a], sig);
+    }
+    for (int x = 0; x < num_x; ++x) {
+      sig.clear();
+      for (int q : workload.transaction(x).query_ids) {
+        sig.push_back(Mix(kTxnHasQuery, queries[q]));
+      }
+      next_txns[x] = FoldSorted(txns[x], sig);
+    }
+    for (int q = 0; q < num_q; ++q) {
+      const Query& query = workload.query(q);
+      sig.clear();
+      sig.push_back(Mix(kQueryInTxn, txns[query.transaction_id]));
+      for (int a : query.attributes) {
+        sig.push_back(Mix(kQueryRefsAttr, attrs[a]));
+      }
+      for (const auto& [table, rows] : query.table_rows) {
+        uint64_t c = Mix(kQueryTouchesTable, tables[table]);
+        if (exact) c = Mix(c, HashDouble(rows));
+        sig.push_back(c);
+      }
+      next_queries[q] = FoldSorted(queries[q], sig);
+    }
+    tables.swap(next_tables);
+    attrs.swap(next_attrs);
+    txns.swap(next_txns);
+    queries.swap(next_queries);
+    const long next_distinct = CountDistinct(tables) + CountDistinct(attrs) +
+                               CountDistinct(txns) + CountDistinct(queries);
+    if (next_distinct == distinct) break;
+    distinct = next_distinct;
+  }
+
+  Orders orders;
+  orders.tables = SortByColor(tables);
+  orders.attributes = SortByColor(attrs);
+  orders.transactions = SortByColor(txns);
+  orders.queries = SortByColor(queries);
+  return orders;
+}
+
+std::vector<int> InversePermutation(const std::vector<int>& order) {
+  std::vector<int> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  return pos;
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void AppendInt(std::string& out, long value) {
+  out += std::to_string(value);
+}
+
+/// Serializes the instance in the canonical order of `orders`. Every entity
+/// is referenced by canonical position; names never appear. `exact` adds
+/// the numerics (widths, frequencies, rows).
+std::string Serialize(const Instance& instance, const Orders& orders,
+                      bool exact) {
+  const Schema& schema = instance.schema();
+  const Workload& workload = instance.workload();
+  const std::vector<int> table_pos = InversePermutation(orders.tables);
+  const std::vector<int> attr_pos = InversePermutation(orders.attributes);
+  const std::vector<int> txn_pos = InversePermutation(orders.transactions);
+
+  std::string out;
+  out.reserve(256);
+  out += exact ? "vpart-canonical-v1 exact\n" : "vpart-canonical-v1 shape\n";
+  out += "sizes ";
+  AppendInt(out, schema.num_tables());
+  out += ' ';
+  AppendInt(out, schema.num_attributes());
+  out += ' ';
+  AppendInt(out, workload.num_transactions());
+  out += ' ';
+  AppendInt(out, workload.num_queries());
+  out += '\n';
+
+  for (size_t i = 0; i < orders.attributes.size(); ++i) {
+    const Attribute& attr = schema.attribute(orders.attributes[i]);
+    out += "attr ";
+    AppendInt(out, static_cast<long>(i));
+    out += " table ";
+    AppendInt(out, table_pos[attr.table_id]);
+    if (exact) {
+      out += " width ";
+      AppendDouble(out, attr.width);
+    }
+    out += '\n';
+  }
+
+  for (size_t i = 0; i < orders.queries.size(); ++i) {
+    const Query& query = workload.query(orders.queries[i]);
+    out += "query ";
+    AppendInt(out, static_cast<long>(i));
+    out += " txn ";
+    AppendInt(out, txn_pos[query.transaction_id]);
+    out += query.is_write() ? " W" : " R";
+    if (exact) {
+      out += " freq ";
+      AppendDouble(out, query.frequency);
+    }
+    out += " attrs";
+    std::vector<int> ref;
+    for (int a : query.attributes) ref.push_back(attr_pos[a]);
+    std::sort(ref.begin(), ref.end());
+    for (int p : ref) {
+      out += ' ';
+      AppendInt(out, p);
+    }
+    out += " tables";
+    std::vector<std::pair<int, double>> touched;
+    for (const auto& [table, rows] : query.table_rows) {
+      touched.push_back({table_pos[table], rows});
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const auto& [pos, rows] : touched) {
+      out += ' ';
+      AppendInt(out, pos);
+      if (exact) {
+        out += ':';
+        AppendDouble(out, rows);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t FingerprintHash(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+InstanceFingerprint FingerprintInstance(const Instance& instance) {
+  InstanceFingerprint fp;
+  const Orders exact = Canonicalize(instance, /*exact=*/true);
+  const Orders shape = Canonicalize(instance, /*exact=*/false);
+  fp.exact_text = Serialize(instance, exact, /*exact=*/true);
+  fp.shape_text = Serialize(instance, shape, /*exact=*/false);
+  fp.exact_hash = FingerprintHash(fp.exact_text);
+  fp.shape_hash = FingerprintHash(fp.shape_text);
+  fp.table_order = exact.tables;
+  fp.attribute_order = exact.attributes;
+  fp.transaction_order = exact.transactions;
+  fp.query_order = exact.queries;
+  fp.shape_attribute_order = shape.attributes;
+  fp.shape_transaction_order = shape.transactions;
+  return fp;
+}
+
+namespace {
+
+StatusOr<Partitioning> RemapByOrders(const std::vector<int>& from_attrs,
+                                     const std::vector<int>& from_txns,
+                                     const Partitioning& from,
+                                     const std::vector<int>& to_attrs,
+                                     const std::vector<int>& to_txns) {
+  const int num_attrs = static_cast<int>(to_attrs.size());
+  const int num_txns = static_cast<int>(to_txns.size());
+  if (from.num_attributes() != num_attrs ||
+      from.num_transactions() != num_txns) {
+    return InvalidArgumentError(
+        "partitioning does not match its claimed fingerprint");
+  }
+  Partitioning remapped(num_txns, num_attrs, from.num_sites());
+  for (int i = 0; i < num_txns; ++i) {
+    remapped.AssignTransaction(to_txns[i],
+                               from.SiteOfTransaction(from_txns[i]));
+  }
+  for (int i = 0; i < num_attrs; ++i) {
+    for (int s = 0; s < from.num_sites(); ++s) {
+      if (from.HasAttribute(from_attrs[i], s)) {
+        remapped.PlaceAttribute(to_attrs[i], s);
+      }
+    }
+  }
+  return remapped;
+}
+
+}  // namespace
+
+StatusOr<Partitioning> RemapPartitioning(const InstanceFingerprint& from_fp,
+                                         const Partitioning& from,
+                                         const InstanceFingerprint& to_fp) {
+  if (from_fp.exact_text != to_fp.exact_text) {
+    return InvalidArgumentError(
+        "RemapPartitioning requires identical canonical forms");
+  }
+  return RemapByOrders(from_fp.attribute_order, from_fp.transaction_order,
+                       from, to_fp.attribute_order,
+                       to_fp.transaction_order);
+}
+
+StatusOr<Partitioning> RemapPartitioningByShape(
+    const InstanceFingerprint& from_fp, const Partitioning& from,
+    const InstanceFingerprint& to_fp) {
+  if (from_fp.shape_text != to_fp.shape_text) {
+    return InvalidArgumentError(
+        "RemapPartitioningByShape requires identical canonical shapes");
+  }
+  return RemapByOrders(from_fp.shape_attribute_order,
+                       from_fp.shape_transaction_order, from,
+                       to_fp.shape_attribute_order,
+                       to_fp.shape_transaction_order);
+}
+
+std::string RequestKeyText(const AdviseRequest& request) {
+  std::string out = "request-key-v1";
+  out += " solver=" + request.solver;
+  out += " sites=";
+  AppendInt(out, request.num_sites);
+  out += " p=";
+  AppendDouble(out, request.cost.p);
+  out += " lambda=";
+  AppendDouble(out, request.cost.lambda);
+  out += " backend=" + request.cost_model.backend;
+  out += " cacheline=";
+  AppendDouble(out, request.cost_model.cacheline.line_bytes);
+  out += ',';
+  AppendDouble(out, request.cost_model.cacheline.row_header_bytes);
+  out += ',';
+  AppendDouble(out, request.cost_model.cacheline.read_factor);
+  out += ',';
+  AppendDouble(out, request.cost_model.cacheline.write_factor);
+  out += ',';
+  AppendDouble(out, request.cost_model.cacheline.transfer_header_bytes);
+  out += " disk_page=";
+  AppendDouble(out, request.cost_model.disk_page.page_bytes);
+  out += ',';
+  AppendDouble(out, request.cost_model.disk_page.seek_pages);
+  out += ',';
+  AppendDouble(out, request.cost_model.disk_page.write_factor);
+  out += request.allow_replication ? " repl=1" : " repl=0";
+  out += request.use_attribute_grouping ? " group=1" : " group=0";
+  out += " latency=";
+  AppendDouble(out, request.latency_penalty);
+  out += " gap=";
+  AppendDouble(out, request.ilp.mip_gap);
+  out += " seed=";
+  AppendInt(out, static_cast<long>(request.seed));
+  return out;
+}
+
+std::string ShapeKeyText(const AdviseRequest& request) {
+  std::string out = "shape-key-v1";
+  out += " sites=";
+  AppendInt(out, request.num_sites);
+  out += request.allow_replication ? " repl=1" : " repl=0";
+  out += request.use_attribute_grouping ? " group=1" : " group=0";
+  out += request.latency_penalty > 0 ? " latency=1" : " latency=0";
+  // Grouping eligibility depends on the backend's width additivity, so a
+  // backend switch can change the solved model's shape.
+  out += " backend=" + request.cost_model.backend;
+  return out;
+}
+
+}  // namespace vpart

@@ -1,0 +1,110 @@
+#ifndef VPART_SERVE_FINGERPRINT_H_
+#define VPART_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/advise.h"
+#include "cost/partitioning.h"
+#include "util/status.h"
+#include "workload/instance.h"
+
+namespace vpart {
+
+/// Canonical, name-erased fingerprint of an Instance, the key of the serve
+/// layer's solution cache (serve/solution_cache.h).
+///
+/// Canonicalization runs Weisfeiler-Leman-style color refinement over the
+/// instance's entity graph (tables, attributes, transactions, queries; edges
+/// for membership and reference) and orders each entity class by its refined
+/// color, tying by original index. Two presentations of the same problem —
+/// different entity names, different declaration orders — therefore produce
+/// byte-identical canonical texts, while any structural or numerical change
+/// (an extra query reference, a different width or frequency) changes them.
+///
+/// Two granularities:
+///  * `exact_text` serializes the full problem in canonical order, numerics
+///    included (widths, frequencies, row counts). Byte equality of two
+///    exact texts means the instances are the same problem up to renaming,
+///    so a cached solution can be remapped onto the new instance
+///    (RemapPartitioning) and revalidated. Equality is decided on the TEXT,
+///    never the hash — a hash collision can only cost a spurious miss.
+///  * `shape_text` serializes structure only (no numerics). Equal shapes
+///    mean the solver sees an identically-shaped model (same constraint
+///    pattern; only objective coefficients differ), which is exactly when a
+///    cached root basis / incumbent is worth feeding to the warm-start
+///    ladder. Shape reuse is heuristic: the ladder validates every basis
+///    load, so a wrong guess costs time, never correctness.
+///
+/// Symmetric instances (automorphisms WL cannot split) tie-break by original
+/// index: two differently-permuted symmetric presentations may canonicalize
+/// differently and miss the cache. That trades hit rate for simplicity —
+/// a miss re-solves; wrongness is impossible.
+struct InstanceFingerprint {
+  std::string exact_text;
+  std::string shape_text;
+  /// FNV-style hashes of the texts (cheap index keys; see above).
+  uint64_t exact_hash = 0;
+  uint64_t shape_hash = 0;
+
+  /// Canonical position -> original index, per entity class, under the
+  /// EXACT (numerics-aware) ordering. RemapPartitioning composes two of
+  /// these to carry a solution between same-problem instances.
+  std::vector<int> table_order;
+  std::vector<int> attribute_order;
+  std::vector<int> transaction_order;
+  std::vector<int> query_order;
+
+  /// The same, under the SHAPE (structure-only) ordering — the
+  /// correspondence used to carry an incumbent between same-shaped but
+  /// numerically different instances (RemapPartitioningByShape). Coarser
+  /// colors mean more index tie-breaks, so this mapping is best-effort.
+  std::vector<int> shape_attribute_order;
+  std::vector<int> shape_transaction_order;
+};
+
+/// Builds the fingerprint. Cost is a few refinement sweeps over the
+/// instance's reference lists — O((|A|+|Q|+|T|) · edges · rounds).
+InstanceFingerprint FingerprintInstance(const Instance& instance);
+
+/// Remaps `from` (a partitioning of the instance fingerprinted as
+/// `from_fp`) onto the instance fingerprinted as `to_fp`: canonical
+/// position i of the source maps to canonical position i of the target.
+/// Requires byte-equal exact texts (the caller's cache-hit criterion);
+/// fails with InvalidArgument otherwise. Sites are homogeneous in the
+/// model and carry over unchanged.
+StatusOr<Partitioning> RemapPartitioning(const InstanceFingerprint& from_fp,
+                                         const Partitioning& from,
+                                         const InstanceFingerprint& to_fp);
+
+/// As RemapPartitioning, but across instances that agree only on
+/// `shape_text` (structure equal, numerics different) using the shape
+/// orders. The result is a HEURISTIC warm-start seed: symmetric entities
+/// tie-break by original index, so the mapping may not be a true
+/// isomorphism — downstream validation drops a seed that does not fit.
+/// Never use this path for answers, only for seeding.
+StatusOr<Partitioning> RemapPartitioningByShape(
+    const InstanceFingerprint& from_fp, const Partitioning& from,
+    const InstanceFingerprint& to_fp);
+
+/// Serializes the request knobs that affect the ANSWER of a solve (solver,
+/// num_sites, cost params and cost-model spec, allow_replication,
+/// use_attribute_grouping, latency_penalty, ilp.mip_gap, seed) into a
+/// stable key fragment. Deliberately excludes execution knobs that change
+/// only how fast the answer arrives (num_threads, time_limit_seconds, obs,
+/// certify, warm seeds) — a cached answer is valid across those.
+std::string RequestKeyText(const AdviseRequest& request);
+
+/// Serializes the request knobs that determine the MODEL SHAPE (num_sites,
+/// allow_replication, use_attribute_grouping, latency on/off, cost-model
+/// backend — grouping eligibility depends on it). Combined with shape_text
+/// this keys basis/incumbent reuse across requests whose numerics differ.
+std::string ShapeKeyText(const AdviseRequest& request);
+
+/// 64-bit FNV-1a over a string (the hash used for the fingerprint texts).
+uint64_t FingerprintHash(const std::string& text);
+
+}  // namespace vpart
+
+#endif  // VPART_SERVE_FINGERPRINT_H_

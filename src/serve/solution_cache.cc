@@ -1,0 +1,129 @@
+#include "serve/solution_cache.h"
+
+#include <utility>
+
+namespace vpart {
+namespace {
+
+std::string ExactKey(const InstanceFingerprint& fp,
+                     const AdviseRequest& request) {
+  return fp.exact_text + "\n" + RequestKeyText(request);
+}
+
+std::string ShapeKey(const InstanceFingerprint& fp,
+                     const AdviseRequest& request) {
+  return fp.shape_text + "\n" + ShapeKeyText(request);
+}
+
+}  // namespace
+
+const char* CacheHitKindName(CacheHitKind kind) {
+  switch (kind) {
+    case CacheHitKind::kMiss:
+      return "miss";
+    case CacheHitKind::kExact:
+      return "exact";
+    case CacheHitKind::kShape:
+      return "shape";
+  }
+  return "unknown";
+}
+
+SolutionCache::SolutionCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool SolutionCache::CoversBudget(double cached_limit,
+                                 double requested_limit) {
+  if (cached_limit <= 0) return true;       // cached answer had unlimited time
+  if (requested_limit <= 0) return false;   // caller wants unlimited, we had a cap
+  return cached_limit >= requested_limit;
+}
+
+void SolutionCache::Touch(EntryList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void SolutionCache::EvictBack() {
+  EntryList::iterator victim = std::prev(lru_.end());
+  by_exact_.erase(victim->exact_key);
+  auto [begin, end] = by_shape_.equal_range(victim->shape_key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == victim) {
+      by_shape_.erase(it);
+      break;
+    }
+  }
+  lru_.erase(victim);
+  ++stats_.evictions;
+}
+
+CacheLookupResult SolutionCache::Lookup(const InstanceFingerprint& fp,
+                                        const AdviseRequest& request) {
+  const std::string exact_key = ExactKey(fp, request);
+  const std::string shape_key = ShapeKey(fp, request);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+
+  CacheLookupResult result;
+  auto exact_it = by_exact_.find(exact_key);
+  if (exact_it != by_exact_.end()) {
+    const Entry& entry = *exact_it->second;
+    const bool covered =
+        entry.solution->response.result.proven_optimal ||
+        CoversBudget(entry.solution->time_limit_seconds,
+                     request.time_limit_seconds);
+    Touch(exact_it->second);
+    result.kind = covered ? CacheHitKind::kExact : CacheHitKind::kShape;
+    result.entry = entry.solution;
+    ++(covered ? stats_.exact_hits : stats_.shape_hits);
+    return result;
+  }
+
+  auto shape_it = by_shape_.find(shape_key);
+  if (shape_it != by_shape_.end()) {
+    Touch(shape_it->second);
+    result.kind = CacheHitKind::kShape;
+    result.entry = shape_it->second->solution;
+    ++stats_.shape_hits;
+    return result;
+  }
+
+  ++stats_.misses;
+  return result;
+}
+
+void SolutionCache::Insert(InstanceFingerprint fp,
+                           const AdviseRequest& request,
+                           AdviseResponse response) {
+  auto solution = std::make_shared<CachedSolution>();
+  solution->time_limit_seconds = request.time_limit_seconds;
+  std::string exact_key = ExactKey(fp, request);
+  std::string shape_key = ShapeKey(fp, request);
+  solution->fingerprint = std::move(fp);
+  solution->response = std::move(response);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.insertions;
+  auto existing = by_exact_.find(exact_key);
+  if (existing != by_exact_.end()) {
+    existing->second->solution = std::move(solution);
+    Touch(existing->second);
+    return;
+  }
+  lru_.push_front(Entry{std::move(exact_key), shape_key, std::move(solution)});
+  by_exact_.emplace(lru_.front().exact_key, lru_.begin());
+  by_shape_.emplace(std::move(shape_key), lru_.begin());
+  while (lru_.size() > capacity_) EvictBack();
+}
+
+CacheStats SolutionCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace vpart

@@ -1,0 +1,118 @@
+#ifndef VPART_SERVE_SOLUTION_CACHE_H_
+#define VPART_SERVE_SOLUTION_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/advise.h"
+#include "serve/fingerprint.h"
+
+namespace vpart {
+
+/// One cached solve: the certified response plus everything needed to
+/// reuse it — the fingerprint (for remapping onto a new presentation of
+/// the same problem) and the budget it was computed under (an exact hit
+/// must never hand a 5-second answer to a caller who asked for 5 minutes).
+struct CachedSolution {
+  InstanceFingerprint fingerprint;
+  AdviseResponse response;
+  /// AdviseRequest::time_limit_seconds of the producing request
+  /// (<= 0 = unlimited).
+  double time_limit_seconds = 0.0;
+};
+
+enum class CacheHitKind {
+  kMiss,
+  /// Same problem (byte-equal canonical form) and same answer-affecting
+  /// knobs, with a covering budget: the cached response IS the answer
+  /// (after remapping and revalidation by the caller).
+  kExact,
+  /// Same model shape only (or an exact match whose budget does not cover
+  /// the request): the entry's incumbent/basis are warm-start seeds, the
+  /// solve still runs.
+  kShape,
+};
+
+const char* CacheHitKindName(CacheHitKind kind);
+
+struct CacheLookupResult {
+  CacheHitKind kind = CacheHitKind::kMiss;
+  /// Set unless kind == kMiss. Shared so a hit stays valid after eviction.
+  std::shared_ptr<const CachedSolution> entry;
+};
+
+struct CacheStats {
+  long lookups = 0;
+  long exact_hits = 0;
+  long shape_hits = 0;
+  long misses = 0;
+  long insertions = 0;
+  long evictions = 0;
+};
+
+/// Bounded, thread-safe LRU cache of advise solutions keyed by canonical
+/// instance fingerprint + request knobs. Two indexes over one LRU list:
+///
+///  * exact index: canonical exact_text + RequestKeyText. A hit is the
+///    answer itself — IF the cached budget covers the request's (a
+///    proven-optimal answer covers any budget). Otherwise it downgrades
+///    to a kShape seed rather than returning a possibly-worse answer.
+///  * shape index: canonical shape_text + ShapeKeyText. A hit seeds the
+///    warm-start ladder (incumbent + root basis) of a fresh solve.
+///
+/// Both hit kinds move the entry to the LRU front. Eviction drops the
+/// least-recently-used entry; outstanding shared_ptr handles keep evicted
+/// entries alive for their readers.
+///
+/// The cache NEVER vouches for correctness: callers must revalidate exact
+/// hits (the serve layer runs the SolutionCertifier over the remapped
+/// response) and must treat shape hits as hints. A cache with a poisoned
+/// entry can therefore waste time but not produce a wrong answer.
+class SolutionCache {
+ public:
+  explicit SolutionCache(size_t capacity = 64);
+
+  /// Computes the keys for (fp, request) and probes both indexes.
+  CacheLookupResult Lookup(const InstanceFingerprint& fp,
+                           const AdviseRequest& request);
+
+  /// Stores a solved response. Replaces an existing entry with the same
+  /// exact key (last write wins — it has the freshest basis).
+  void Insert(InstanceFingerprint fp, const AdviseRequest& request,
+              AdviseResponse response);
+
+  CacheStats Stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string exact_key;
+    std::string shape_key;
+    std::shared_ptr<const CachedSolution> solution;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// True when an answer computed under `cached_limit` seconds is at least
+  /// as good as what `requested_limit` seconds would produce (<= 0 means
+  /// unlimited on either side).
+  static bool CoversBudget(double cached_limit, double requested_limit);
+
+  void Touch(EntryList::iterator it);  // mu_ held
+  void EvictBack();                    // mu_ held
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> by_exact_;
+  // Several entries can share a shape; a multimap keeps them all findable.
+  std::unordered_multimap<std::string, EntryList::iterator> by_shape_;
+  CacheStats stats_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_SERVE_SOLUTION_CACHE_H_

@@ -25,6 +25,23 @@ Partitioning AttributeGrouping::ExpandPartitioning(
   return expanded;
 }
 
+Partitioning AttributeGrouping::CollapsePartitioning(
+    const Partitioning& original_solution) const {
+  const int num_original = static_cast<int>(group_of_attribute.size());
+  Partitioning reduced(original_solution.num_transactions(), num_groups(),
+                       original_solution.num_sites());
+  for (int t = 0; t < original_solution.num_transactions(); ++t) {
+    reduced.AssignTransaction(t, original_solution.SiteOfTransaction(t));
+  }
+  for (int a = 0; a < num_original; ++a) {
+    const int g = group_of_attribute[a];
+    for (int s = 0; s < original_solution.num_sites(); ++s) {
+      if (original_solution.HasAttribute(a, s)) reduced.PlaceAttribute(g, s);
+    }
+  }
+  return reduced;
+}
+
 StatusOr<AttributeGrouping> BuildAttributeGrouping(const Instance& instance) {
   const Schema& schema = instance.schema();
   const Workload& workload = instance.workload();

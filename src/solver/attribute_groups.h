@@ -30,6 +30,14 @@ struct AttributeGrouping {
   /// Copies a reduced-instance partitioning back to original attributes.
   /// Transaction assignments carry over unchanged.
   Partitioning ExpandPartitioning(const Partitioning& reduced_solution) const;
+
+  /// Inverse mapping, used to translate cached warm-start incumbents (in
+  /// original-attribute space) onto the reduced instance: each group gets
+  /// the union of its members' placements. Exact for any partitioning that
+  /// came out of ExpandPartitioning (members agree by construction); a
+  /// disagreeing input yields a replicated seed that downstream validation
+  /// may reject — acceptable for a heuristic seed, never used for results.
+  Partitioning CollapsePartitioning(const Partitioning& original_solution) const;
 };
 
 /// Builds the grouping. Fails only on malformed instances.

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "solver/sa_solver.h"
-#include "util/stopwatch.h"
+#include "util/deadline.h"
 
 namespace vpart {
 namespace {

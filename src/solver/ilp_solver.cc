@@ -19,6 +19,11 @@ IlpSolveResult SolveWithIlp(const CostCoefficients& cost_model,
     warm = formulation.EncodePartitioning(cost_model, *options.warm_start);
     mip_options.initial_solution = &warm;
   }
+  if (options.root_basis != nullptr && options.latency_penalty <= 0) {
+    // Latency adds ψ variables the cached basis cannot cover; skip the
+    // seed there rather than burn a guaranteed warm-start failure.
+    mip_options.root_basis = options.root_basis;
+  }
 
   // Decode tree-search incumbents into partitionings for the caller's
   // stream, chaining any progress callback the caller installed itself.
@@ -52,6 +57,7 @@ IlpSolveResult SolveWithIlp(const CostCoefficients& cost_model,
   result.gap_percent = mip.GapPercent();
   result.search_exhausted = mip.search_exhausted;
   result.pruned_by_external_bound = mip.pruned_by_external_bound;
+  result.root_basis = mip.root_basis;
   if (mip.has_incumbent()) {
     Partitioning p = formulation.ExtractPartitioning(mip.values);
     Status feasible = ValidatePartitioning(

@@ -2,6 +2,7 @@
 #define VPART_SOLVER_ILP_SOLVER_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "cost/cost_coefficients.h"
@@ -19,6 +20,10 @@ struct IlpSolverOptions {
   /// Optional incumbent to start from (e.g. an SA solution); dramatically
   /// improves the pruning of large models. The paper's GLPK runs were cold.
   const Partitioning* warm_start = nullptr;
+  /// Optional root-relaxation seed basis from a prior same-shaped solve
+  /// (forwarded to MipOptions::root_basis; heuristic, falls back cold on
+  /// mismatch). Set by the serve layer's shape-level cache hits.
+  std::shared_ptr<const Basis> root_basis;
   /// Appendix A: adds ψ_q binaries and p_l·f_q·ψ_q objective terms for
   /// write queries when > 0 (see solver/latency.h). Warm starts are
   /// disabled under latency because the encoding does not cover ψ.
@@ -53,6 +58,9 @@ struct IlpSolveResult {
   /// incumbent bound (portfolio racing) contributed cuts.
   bool search_exhausted = false;
   bool pruned_by_external_bound = false;
+  /// Terminal basis of the root relaxation (see MipResult::root_basis);
+  /// cached by the serve layer to seed future same-shaped solves.
+  std::shared_ptr<const Basis> root_basis;
 
   bool ok() const { return partitioning.has_value(); }
   bool timed_out() const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/deadline.h"
 #include "util/stopwatch.h"
 
 namespace vpart {

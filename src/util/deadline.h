@@ -1,0 +1,69 @@
+#ifndef VPART_UTIL_DEADLINE_H_
+#define VPART_UTIL_DEADLINE_H_
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace vpart {
+
+/// Monotonic-clock deadline shared by the solver stack and the serve layer.
+/// `Expired()` is false forever when constructed with a non-positive limit
+/// (meaning "no limit"). Safe to poll from many threads concurrently (the
+/// limit is immutable, the stopwatch reads are atomic).
+///
+/// Two conventions meet here and both are encoded as named helpers so call
+/// sites stop re-deriving them by hand:
+///  - solver options use `time_limit_seconds <= 0` for "unlimited"
+///    (`SolverBudgetSeconds()` produces that encoding);
+///  - budget slicing takes the minimum of the global deadline and a local
+///    lane/phase budget (`RemainingUnder()`).
+class Deadline {
+ public:
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+
+  /// A deadline that never expires.
+  static Deadline Unlimited() { return Deadline(0.0); }
+
+  /// A deadline `limit_seconds` from now; non-positive means unlimited.
+  static Deadline After(double limit_seconds) { return Deadline(limit_seconds); }
+
+  bool HasLimit() const { return limit_seconds_ > 0; }
+  bool Expired() const {
+    return HasLimit() && watch_.ElapsedSeconds() >= limit_seconds_;
+  }
+  double RemainingSeconds() const {
+    if (!HasLimit()) return kNoLimitSeconds;
+    double r = limit_seconds_ - watch_.ElapsedSeconds();
+    return r > 0 ? r : 0;
+  }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  /// Remaining seconds under an additional local budget. A non-positive
+  /// `budget_seconds` means the local budget is unlimited, so this reduces to
+  /// RemainingSeconds(). Never negative.
+  double RemainingUnder(double budget_seconds) const {
+    double remaining = RemainingSeconds();
+    if (budget_seconds > 0) {
+      remaining = std::min(remaining, budget_seconds);
+    }
+    return remaining > 0 ? remaining : 0;
+  }
+
+  /// Remaining seconds in the `time_limit_seconds` encoding solver options
+  /// use: a positive budget when a limit exists, 0.0 meaning "unlimited".
+  double SolverBudgetSeconds() const {
+    return HasLimit() ? RemainingSeconds() : 0.0;
+  }
+
+  /// Sentinel returned by RemainingSeconds() when no limit is set.
+  static constexpr double kNoLimitSeconds = 1e18;
+
+ private:
+  double limit_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace vpart
+
+#endif  // VPART_UTIL_DEADLINE_H_

@@ -1,5 +1,7 @@
 #include "util/stopwatch.h"
 
+#include "util/deadline.h"
+
 // Header-only; this translation unit anchors the library target and keeps a
 // stable place for future non-inline timing helpers. The start instant is an
 // atomic nanosecond count so Reset()/ElapsedSeconds() are safe from
@@ -11,4 +13,7 @@ namespace vpart {
 static_assert(std::is_copy_constructible<Stopwatch>::value &&
                   std::is_copy_assignable<Stopwatch>::value,
               "Stopwatch must stay copyable for embedding in options/results");
+static_assert(std::is_copy_constructible<Deadline>::value &&
+                  std::is_copy_assignable<Deadline>::value,
+              "Deadline must stay copyable for embedding in options/results");
 }  // namespace vpart

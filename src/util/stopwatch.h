@@ -46,29 +46,6 @@ class Stopwatch {
   std::atomic<int64_t> start_ns_;
 };
 
-/// Deadline helper: `Expired()` is false forever when constructed with a
-/// non-positive limit (meaning "no limit"). Safe to poll from many threads
-/// concurrently (the limit is immutable, the stopwatch reads are atomic).
-class Deadline {
- public:
-  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
-
-  bool HasLimit() const { return limit_seconds_ > 0; }
-  bool Expired() const {
-    return HasLimit() && watch_.ElapsedSeconds() >= limit_seconds_;
-  }
-  double RemainingSeconds() const {
-    if (!HasLimit()) return 1e18;
-    double r = limit_seconds_ - watch_.ElapsedSeconds();
-    return r > 0 ? r : 0;
-  }
-  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
-
- private:
-  double limit_seconds_;
-  Stopwatch watch_;
-};
-
 }  // namespace vpart
 
 #endif  // VPART_UTIL_STOPWATCH_H_

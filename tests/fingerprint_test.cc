@@ -1,0 +1,221 @@
+#include "serve/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/partitioning.h"
+#include "workload/instance.h"
+
+namespace vpart {
+namespace {
+
+/// Reference instance: two tables, four attributes, two transactions.
+/// All entities are structurally or numerically distinguishable, so WL
+/// refinement discriminates them fully and the canonical form is unique.
+Instance MakeBase() {
+  InstanceBuilder builder("base");
+  const int t0 = builder.AddTable("T0");
+  const int a0 = builder.AddAttribute(t0, "a0", 4);
+  const int a1 = builder.AddAttribute(t0, "a1", 8);
+  const int t1 = builder.AddTable("T1");
+  const int a2 = builder.AddAttribute(t1, "a2", 2);
+  const int a3 = builder.AddAttribute(t1, "a3", 4);
+  const int x0 = builder.AddTransaction("X0");
+  builder.AddQuery(x0, "q0", QueryKind::kRead, 10, {a0, a2});
+  builder.AddQuery(x0, "q1", QueryKind::kWrite, 5, {a1});
+  const int x1 = builder.AddTransaction("X1");
+  builder.AddQuery(x1, "q2", QueryKind::kRead, 7, {a2, a3});
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+/// The same problem as MakeBase, with every entity renamed and every
+/// declaration order permuted (tables reversed, attributes reversed within
+/// tables, transactions and queries reordered).
+Instance MakePermuted() {
+  InstanceBuilder builder("permuted");
+  const int beta = builder.AddTable("beta");
+  const int y = builder.AddAttribute(beta, "y", 4);   // ≅ a3
+  const int x = builder.AddAttribute(beta, "x", 2);   // ≅ a2
+  const int alpha = builder.AddTable("alpha");
+  const int n = builder.AddAttribute(alpha, "n", 8);  // ≅ a1
+  const int m = builder.AddAttribute(alpha, "m", 4);  // ≅ a0
+  const int v = builder.AddTransaction("v");          // ≅ X1
+  builder.AddQuery(v, "r2", QueryKind::kRead, 7, {x, y});
+  const int u = builder.AddTransaction("u");          // ≅ X0
+  builder.AddQuery(u, "w1", QueryKind::kWrite, 5, {n});
+  builder.AddQuery(u, "r0", QueryKind::kRead, 10, {m, x});
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+TEST(FingerprintTest, PermutedAndRenamedInstancesCanonicalizeEqually) {
+  const InstanceFingerprint base = FingerprintInstance(MakeBase());
+  const InstanceFingerprint permuted = FingerprintInstance(MakePermuted());
+  EXPECT_EQ(base.exact_text, permuted.exact_text);
+  EXPECT_EQ(base.shape_text, permuted.shape_text);
+  EXPECT_EQ(base.exact_hash, permuted.exact_hash);
+  EXPECT_EQ(base.shape_hash, permuted.shape_hash);
+  // Names must never leak into the canonical form.
+  EXPECT_EQ(base.exact_text.find("T0"), std::string::npos);
+  EXPECT_EQ(base.exact_text.find("q0"), std::string::npos);
+}
+
+TEST(FingerprintTest, StructuralChangeAltersExactAndShape) {
+  const InstanceFingerprint base = FingerprintInstance(MakeBase());
+  InstanceBuilder builder("changed");
+  const int t0 = builder.AddTable("T0");
+  const int a0 = builder.AddAttribute(t0, "a0", 4);
+  const int a1 = builder.AddAttribute(t0, "a1", 8);
+  const int t1 = builder.AddTable("T1");
+  const int a2 = builder.AddAttribute(t1, "a2", 2);
+  const int a3 = builder.AddAttribute(t1, "a3", 4);
+  const int x0 = builder.AddTransaction("X0");
+  builder.AddQuery(x0, "q0", QueryKind::kRead, 10, {a0, a2});
+  builder.AddQuery(x0, "q1", QueryKind::kWrite, 5, {a1});
+  const int x1 = builder.AddTransaction("X1");
+  // One extra attribute reference: a structural change.
+  builder.AddQuery(x1, "q2", QueryKind::kRead, 7, {a1, a2, a3});
+  auto changed = builder.Build();
+  ASSERT_TRUE(changed.ok());
+  const InstanceFingerprint fp = FingerprintInstance(*changed);
+  EXPECT_NE(base.exact_text, fp.exact_text);
+  EXPECT_NE(base.shape_text, fp.shape_text);
+}
+
+TEST(FingerprintTest, FrequencyChangeAltersExactButKeepsShape) {
+  const InstanceFingerprint base = FingerprintInstance(MakeBase());
+  InstanceBuilder builder("freq");
+  const int t0 = builder.AddTable("T0");
+  const int a0 = builder.AddAttribute(t0, "a0", 4);
+  const int a1 = builder.AddAttribute(t0, "a1", 8);
+  const int t1 = builder.AddTable("T1");
+  const int a2 = builder.AddAttribute(t1, "a2", 2);
+  const int a3 = builder.AddAttribute(t1, "a3", 4);
+  const int x0 = builder.AddTransaction("X0");
+  builder.AddQuery(x0, "q0", QueryKind::kRead, 10, {a0, a2});
+  builder.AddQuery(x0, "q1", QueryKind::kWrite, 5, {a1});
+  const int x1 = builder.AddTransaction("X1");
+  builder.AddQuery(x1, "q2", QueryKind::kRead, 99, {a2, a3});  // 7 -> 99
+  auto changed = builder.Build();
+  ASSERT_TRUE(changed.ok());
+  const InstanceFingerprint fp = FingerprintInstance(*changed);
+  EXPECT_NE(base.exact_text, fp.exact_text);
+  EXPECT_EQ(base.shape_text, fp.shape_text)
+      << "frequencies scale the objective, not the model shape";
+}
+
+TEST(FingerprintTest, WidthChangeAltersExactButKeepsShape) {
+  const InstanceFingerprint base = FingerprintInstance(MakeBase());
+  InstanceBuilder builder("width");
+  const int t0 = builder.AddTable("T0");
+  const int a0 = builder.AddAttribute(t0, "a0", 4);
+  const int a1 = builder.AddAttribute(t0, "a1", 16);  // 8 -> 16
+  const int t1 = builder.AddTable("T1");
+  const int a2 = builder.AddAttribute(t1, "a2", 2);
+  const int a3 = builder.AddAttribute(t1, "a3", 4);
+  const int x0 = builder.AddTransaction("X0");
+  builder.AddQuery(x0, "q0", QueryKind::kRead, 10, {a0, a2});
+  builder.AddQuery(x0, "q1", QueryKind::kWrite, 5, {a1});
+  const int x1 = builder.AddTransaction("X1");
+  builder.AddQuery(x1, "q2", QueryKind::kRead, 7, {a2, a3});
+  auto changed = builder.Build();
+  ASSERT_TRUE(changed.ok());
+  const InstanceFingerprint fp = FingerprintInstance(*changed);
+  EXPECT_NE(base.exact_text, fp.exact_text);
+  EXPECT_EQ(base.shape_text, fp.shape_text);
+}
+
+TEST(FingerprintTest, RemapCarriesSolutionsAcrossPermutedInstances) {
+  const Instance base = MakeBase();
+  const Instance permuted = MakePermuted();
+  const InstanceFingerprint base_fp = FingerprintInstance(base);
+  const InstanceFingerprint perm_fp = FingerprintInstance(permuted);
+  ASSERT_EQ(base_fp.exact_text, perm_fp.exact_text);
+
+  // A valid layout of the base instance: X0 on site 0, X1 on site 1, with
+  // a2 replicated so both transactions read locally.
+  Partitioning layout(base.num_transactions(), base.num_attributes(), 2);
+  layout.AssignTransaction(*base.workload().FindTransaction("X0"), 0);
+  layout.AssignTransaction(*base.workload().FindTransaction("X1"), 1);
+  layout.PlaceAttribute(*base.schema().FindAttribute("T0.a0"), 0);
+  layout.PlaceAttribute(*base.schema().FindAttribute("T0.a1"), 0);
+  layout.PlaceAttribute(*base.schema().FindAttribute("T1.a2"), 0);
+  layout.PlaceAttribute(*base.schema().FindAttribute("T1.a2"), 1);
+  layout.PlaceAttribute(*base.schema().FindAttribute("T1.a3"), 1);
+  ASSERT_TRUE(ValidatePartitioning(base, layout).ok());
+
+  auto remapped = RemapPartitioning(base_fp, layout, perm_fp);
+  ASSERT_TRUE(remapped.ok()) << remapped.status().ToString();
+  EXPECT_TRUE(ValidatePartitioning(permuted, *remapped).ok());
+  // The isomorphism must land each entity on its counterpart's placement.
+  EXPECT_EQ(remapped->SiteOfTransaction(
+                *permuted.workload().FindTransaction("u")),
+            0);
+  EXPECT_EQ(remapped->SiteOfTransaction(
+                *permuted.workload().FindTransaction("v")),
+            1);
+  EXPECT_TRUE(
+      remapped->HasAttribute(*permuted.schema().FindAttribute("alpha.m"), 0));
+  EXPECT_TRUE(
+      remapped->HasAttribute(*permuted.schema().FindAttribute("alpha.n"), 0));
+  EXPECT_EQ(
+      remapped->SitesOfAttribute(*permuted.schema().FindAttribute("beta.x")),
+      (std::vector<int>{0, 1}));
+  EXPECT_EQ(
+      remapped->SitesOfAttribute(*permuted.schema().FindAttribute("beta.y")),
+      (std::vector<int>{1}));
+}
+
+TEST(FingerprintTest, RemapRejectsMismatchedCanonicalForms) {
+  const Instance base = MakeBase();
+  const InstanceFingerprint base_fp = FingerprintInstance(base);
+  InstanceFingerprint other = base_fp;
+  other.exact_text += "tampered\n";
+  Partitioning layout(base.num_transactions(), base.num_attributes(), 2);
+  auto remapped = RemapPartitioning(base_fp, layout, other);
+  EXPECT_FALSE(remapped.ok());
+}
+
+TEST(FingerprintTest, RequestKeySeparatesAnswerAffectingKnobs) {
+  AdviseRequest request;
+  const std::string base_key = RequestKeyText(request);
+  // Execution-only knobs leave the key unchanged.
+  AdviseRequest faster = request;
+  faster.num_threads = 8;
+  faster.time_limit_seconds = 1.0;
+  faster.certify = true;
+  faster.obs = ObsLevel::kOff;
+  EXPECT_EQ(base_key, RequestKeyText(faster));
+  // Answer-affecting knobs change it.
+  AdviseRequest more_sites = request;
+  more_sites.num_sites = 5;
+  EXPECT_NE(base_key, RequestKeyText(more_sites));
+  AdviseRequest other_cost = request;
+  other_cost.cost.p = 0.0;
+  EXPECT_NE(base_key, RequestKeyText(other_cost));
+  AdviseRequest no_repl = request;
+  no_repl.allow_replication = false;
+  EXPECT_NE(base_key, RequestKeyText(no_repl));
+}
+
+TEST(FingerprintTest, ShapeKeySeparatesModelShapeKnobs) {
+  AdviseRequest request;
+  const std::string base_key = ShapeKeyText(request);
+  // Numeric-only knobs keep the shape key.
+  AdviseRequest other_numbers = request;
+  other_numbers.cost.p = 0.5;
+  other_numbers.seed = 99;
+  other_numbers.ilp.mip_gap = 0.1;
+  EXPECT_EQ(base_key, ShapeKeyText(other_numbers));
+  AdviseRequest latency = request;
+  latency.latency_penalty = 0.25;
+  EXPECT_NE(base_key, ShapeKeyText(latency));
+  AdviseRequest no_group = request;
+  no_group.use_attribute_grouping = false;
+  EXPECT_NE(base_key, ShapeKeyText(no_group));
+}
+
+}  // namespace
+}  // namespace vpart

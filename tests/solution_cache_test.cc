@@ -1,0 +1,187 @@
+#include "serve/solution_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "workload/instance.h"
+
+namespace vpart {
+namespace {
+
+/// A family of same-shaped instances: `freq` scales one query frequency,
+/// so every member shares shape_text while exact_text differs.
+Instance MakeMember(double freq) {
+  InstanceBuilder builder("member");
+  const int t0 = builder.AddTable("T0");
+  const int a0 = builder.AddAttribute(t0, "a0", 4);
+  const int a1 = builder.AddAttribute(t0, "a1", 8);
+  const int t1 = builder.AddTable("T1");
+  const int a2 = builder.AddAttribute(t1, "a2", 2);
+  const int x0 = builder.AddTransaction("X0");
+  builder.AddQuery(x0, "q0", QueryKind::kRead, freq, {a0, a2});
+  builder.AddQuery(x0, "q1", QueryKind::kWrite, 5, {a1});
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+AdviseResponse MakeResponse(const Instance& instance, bool proven) {
+  AdviseResponse response;
+  response.result.partitioning = SingleSiteBaseline(instance, 1);
+  response.result.proven_optimal = proven;
+  response.result.cost = 123.0;
+  return response;
+}
+
+TEST(SolutionCacheTest, MissThenExactHit) {
+  SolutionCache cache(4);
+  const Instance instance = MakeMember(10);
+  InstanceFingerprint fp = FingerprintInstance(instance);
+  AdviseRequest request;
+  EXPECT_EQ(cache.Lookup(fp, request).kind, CacheHitKind::kMiss);
+  cache.Insert(fp, request, MakeResponse(instance, /*proven=*/false));
+  CacheLookupResult hit = cache.Lookup(fp, request);
+  EXPECT_EQ(hit.kind, CacheHitKind::kExact);
+  ASSERT_NE(hit.entry, nullptr);
+  EXPECT_DOUBLE_EQ(hit.entry->response.result.cost, 123.0);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.exact_hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(SolutionCacheTest, LargerBudgetDowngradesUnprovenExactHitToSeed) {
+  SolutionCache cache(4);
+  const Instance instance = MakeMember(10);
+  InstanceFingerprint fp = FingerprintInstance(instance);
+  AdviseRequest request;
+  request.time_limit_seconds = 5.0;
+  cache.Insert(fp, request, MakeResponse(instance, /*proven=*/false));
+
+  AdviseRequest patient = request;
+  patient.time_limit_seconds = 500.0;  // same answer key, bigger budget
+  EXPECT_EQ(cache.Lookup(fp, patient).kind, CacheHitKind::kShape);
+  AdviseRequest quicker = request;
+  quicker.time_limit_seconds = 1.0;
+  EXPECT_EQ(cache.Lookup(fp, quicker).kind, CacheHitKind::kExact);
+
+  // A proven-optimal answer covers any budget, including unlimited.
+  cache.Insert(fp, request, MakeResponse(instance, /*proven=*/true));
+  AdviseRequest unlimited = request;
+  unlimited.time_limit_seconds = 0.0;
+  EXPECT_EQ(cache.Lookup(fp, unlimited).kind, CacheHitKind::kExact);
+}
+
+TEST(SolutionCacheTest, NumericChangeHitsShapeOnly) {
+  SolutionCache cache(4);
+  const Instance base = MakeMember(10);
+  const Instance shifted = MakeMember(20);
+  AdviseRequest request;
+  cache.Insert(FingerprintInstance(base), request,
+               MakeResponse(base, /*proven=*/true));
+  CacheLookupResult hit =
+      cache.Lookup(FingerprintInstance(shifted), request);
+  EXPECT_EQ(hit.kind, CacheHitKind::kShape);
+  ASSERT_NE(hit.entry, nullptr);
+  // The entry carries the ORIGINAL solve's fingerprint for remapping.
+  EXPECT_EQ(hit.entry->fingerprint.exact_text,
+            FingerprintInstance(base).exact_text);
+}
+
+TEST(SolutionCacheTest, RequestKnobChangeMisses) {
+  SolutionCache cache(4);
+  const Instance instance = MakeMember(10);
+  InstanceFingerprint fp = FingerprintInstance(instance);
+  AdviseRequest request;
+  cache.Insert(fp, request, MakeResponse(instance, /*proven=*/true));
+  AdviseRequest more_sites = request;
+  more_sites.num_sites = 7;  // changes both answer and shape keys
+  EXPECT_EQ(cache.Lookup(fp, more_sites).kind, CacheHitKind::kMiss);
+}
+
+TEST(SolutionCacheTest, EvictsLeastRecentlyUsedAndKeepsTouchedEntries) {
+  SolutionCache cache(2);
+  const Instance a = MakeMember(1);
+  const Instance b = MakeMember(2);
+  const Instance c = MakeMember(3);
+  AdviseRequest request;
+  InstanceFingerprint fa = FingerprintInstance(a);
+  InstanceFingerprint fb = FingerprintInstance(b);
+  InstanceFingerprint fc = FingerprintInstance(c);
+  cache.Insert(fa, request, MakeResponse(a, true));
+  cache.Insert(fb, request, MakeResponse(b, true));
+  // Touch A so B becomes the LRU victim.
+  EXPECT_EQ(cache.Lookup(fa, request).kind, CacheHitKind::kExact);
+  cache.Insert(fc, request, MakeResponse(c, true));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1);
+  EXPECT_EQ(cache.Lookup(fa, request).kind, CacheHitKind::kExact);
+  EXPECT_EQ(cache.Lookup(fc, request).kind, CacheHitKind::kExact);
+  // B was evicted: its exact entry is gone; A and C still cover its shape.
+  CacheLookupResult b_hit = cache.Lookup(fb, request);
+  EXPECT_EQ(b_hit.kind, CacheHitKind::kShape);
+}
+
+TEST(SolutionCacheTest, ReinsertReplacesInsteadOfDuplicating) {
+  SolutionCache cache(4);
+  const Instance instance = MakeMember(10);
+  InstanceFingerprint fp = FingerprintInstance(instance);
+  AdviseRequest request;
+  cache.Insert(fp, request, MakeResponse(instance, false));
+  AdviseResponse updated = MakeResponse(instance, true);
+  updated.result.cost = 77.0;
+  cache.Insert(fp, request, std::move(updated));
+  EXPECT_EQ(cache.size(), 1u);
+  CacheLookupResult hit = cache.Lookup(fp, request);
+  ASSERT_EQ(hit.kind, CacheHitKind::kExact);
+  EXPECT_DOUBLE_EQ(hit.entry->response.result.cost, 77.0);
+}
+
+/// Concurrency hammer for the TSan CI leg: concurrent readers and writers
+/// over a small capacity so evictions, replacements, and LRU splices race
+/// with lookups. Correctness here is "no data race, no crash, coherent
+/// stats"; hit kinds are timing-dependent.
+TEST(SolutionCacheTest, ConcurrentGetPutUnderContention) {
+  SolutionCache cache(3);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::vector<Instance> family;
+  std::vector<InstanceFingerprint> prints;
+  for (int i = 0; i < 6; ++i) {
+    family.push_back(MakeMember(1 + i));
+    prints.push_back(FingerprintInstance(family.back()));
+  }
+  std::atomic<long> survived{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      AdviseRequest request;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const size_t i = static_cast<size_t>(t + op) % prints.size();
+        if ((t + op) % 3 == 0) {
+          cache.Insert(prints[i], request,
+                       MakeResponse(family[i], /*proven=*/true));
+        } else {
+          CacheLookupResult hit = cache.Lookup(prints[i], request);
+          if (hit.kind != CacheHitKind::kMiss) {
+            // Entries must stay readable even if evicted concurrently.
+            if (hit.entry->response.result.cost == 123.0) ++survived;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups,
+            stats.exact_hits + stats.shape_hits + stats.misses);
+  EXPECT_LE(cache.size(), 3u);
+  EXPECT_GT(survived.load(), 0);
+}
+
+}  // namespace
+}  // namespace vpart

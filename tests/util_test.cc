@@ -5,6 +5,7 @@
 
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/deadline.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 

@@ -12,9 +12,13 @@
 //
 // Exit codes: 0 success, 1 solve failure, 2 bad usage/request.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/request_json.h"
@@ -25,6 +29,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/string_util.h"
 
 namespace {
@@ -50,6 +56,9 @@ struct CliArgs {
   std::string trace_path;    // --trace: Chrome Trace Event JSON dump
   std::string metrics_path;  // --metrics: Prometheus text dump
   std::string obs_text;      // --obs: overrides the request's "obs" key
+  std::string serve_path;    // --serve: run as a daemon on this socket
+  std::string connect_path;  // --connect: send the request to a daemon
+  int workers = 2;           // --workers: daemon solve workers
   bool certify = false;      // --certify: run the SolutionCertifier
   bool help = false;
   bool print_template = false;
@@ -72,6 +81,15 @@ void PrintHelp() {
       "                        text exposition format after the solve\n"
       "  --obs off|basic|full  observability level; overrides the\n"
       "                        request's \"obs\" key\n"
+      "  --serve <socket>      run as a persistent daemon on the given\n"
+      "                        Unix domain socket instead of solving one\n"
+      "                        request: framed JSON in, framed JSON out,\n"
+      "                        with a canonical-fingerprint solution cache\n"
+      "                        and cross-request warm starts. Stop with\n"
+      "                        SIGINT/SIGTERM. See also vpart_client.\n"
+      "  --workers <n>         daemon solve workers (default 2)\n"
+      "  --connect <socket>    send the request to a running daemon and\n"
+      "                        print its response (one round trip)\n"
       "  --certify             re-verify the response with the independent\n"
       "                        solution certifier (partition structure,\n"
       "                        long-double cost recomputation, optimality\n"
@@ -173,36 +191,8 @@ int RunBatch(const Instance& instance, const CliRequest& cli) {
                  advised.status().ToString().c_str());
     return 1;
   }
-  JsonValue out = JsonValue::MakeObject();
-  out.Set("status", "complete");
-  out.Set("instance", instance.name());
-  out.Set("mode", "batch");
-  JsonValue tables = JsonValue::MakeArray();
-  for (const TableAdvice& advice : advised->tables) {
-    JsonValue table = JsonValue::MakeObject();
-    table.Set("table", advice.table_name);
-    table.Set("algorithm", advice.result.algorithm_used);
-    table.Set("cost", advice.result.cost);
-    table.Set("single_site_cost", advice.result.single_site_cost);
-    table.Set("reduction_percent", advice.result.reduction_percent);
-    table.Set("proven_optimal", advice.result.proven_optimal);
-    tables.Append(std::move(table));
-  }
-  out.Set("tables", std::move(tables));
-  JsonValue combined = JsonValue::MakeObject();
-  combined.Set("algorithm", advised->combined.algorithm_used);
-  combined.Set("cost", advised->combined.cost);
-  combined.Set("single_site_cost", advised->combined.single_site_cost);
-  combined.Set("reduction_percent", advised->combined.reduction_percent);
-  combined.Set("proven_optimal", advised->combined.proven_optimal);
-  if (cli.emit_partitioning) {
-    combined.Set("partitioning",
-                 PartitioningToJson(instance,
-                                    advised->combined.partitioning));
-  }
-  out.Set("combined", std::move(combined));
-  out.Set("threads_used", advised->threads_used);
-  out.Set("seconds", advised->seconds);
+  JsonValue out =
+      BatchAdvisorResultToJson(instance, *advised, cli.emit_partitioning);
   if (cli.request.obs != ObsLevel::kOff) {
     JsonValue telemetry = JsonValue::MakeObject();
     telemetry.Set("metrics",
@@ -213,6 +203,59 @@ int RunBatch(const Instance& instance, const CliRequest& cli) {
   }
   std::printf("%s\n", out.Serialize(2).c_str());
   return 0;
+}
+
+std::atomic<bool> g_stop{false};
+void HandleStopSignal(int) { g_stop.store(true); }
+
+/// --serve: run the advisor daemon until SIGINT/SIGTERM. The signal
+/// handler only sets a flag (AdviseServer::Shutdown takes locks, which
+/// are off-limits inside a handler); the main thread polls it.
+int RunServer(const CliArgs& args) {
+  AdviseServerOptions options;
+  options.socket_path = args.serve_path;
+  options.num_workers = args.workers;
+  AdviseServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "daemon start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::fprintf(stderr, "vpart daemon listening on %s (%d workers)\n",
+               args.serve_path.c_str(), args.workers);
+  while (!g_stop.load() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Shutdown();
+  const CacheStats stats = server.cache_stats();
+  std::fprintf(stderr,
+               "daemon stopped: %ld lookups, %ld exact hits, %ld shape "
+               "hits, %ld misses\n",
+               stats.lookups, stats.exact_hits, stats.shape_hits,
+               stats.misses);
+  return DumpObsFiles(args);
+}
+
+/// --connect: one request round trip against a running daemon.
+int RunConnect(const CliArgs& args, const std::string& request_text) {
+  StatusOr<ServeClient> client = ServeClient::Connect(args.connect_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<std::string> response = client->Roundtrip(request_text);
+  if (!response.ok()) {
+    std::fprintf(stderr, "round trip failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  StatusOr<JsonValue> doc = JsonValue::Parse(*response);
+  return doc.ok() && doc->Find("error") != nullptr ? 1 : 0;
 }
 
 int Run(const CliArgs& args, const std::string& request_text) {
@@ -292,6 +335,18 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       if (!next_value("--metrics", &args.metrics_path)) return false;
     } else if (std::strcmp(arg, "--obs") == 0) {
       if (!next_value("--obs", &args.obs_text)) return false;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      if (!next_value("--serve", &args.serve_path)) return false;
+    } else if (std::strcmp(arg, "--connect") == 0) {
+      if (!next_value("--connect", &args.connect_path)) return false;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      std::string value;
+      if (!next_value("--workers", &value)) return false;
+      args.workers = std::atoi(value.c_str());
+      if (args.workers <= 0) {
+        std::fprintf(stderr, "--workers must be positive\n");
+        return false;
+      }
     } else if (std::strcmp(arg, "--certify") == 0) {
       args.certify = true;
     } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
@@ -321,6 +376,9 @@ int main(int argc, char** argv) {
     std::printf("%s\n", kTemplate);
     return 0;
   }
+  if (!args.serve_path.empty()) {
+    return RunServer(args);
+  }
   std::string request_text;
   if (args.request_path.empty() || args.request_path == "-") {
     request_text = ReadAll(stdin);
@@ -332,6 +390,9 @@ int main(int argc, char** argv) {
     }
     request_text = ReadAll(in);
     std::fclose(in);
+  }
+  if (!args.connect_path.empty()) {
+    return RunConnect(args, request_text);
   }
   return Run(args, request_text);
 }

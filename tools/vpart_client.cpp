@@ -1,0 +1,135 @@
+// Thin client for the advisor daemon: sends framed JSON advise requests
+// over the daemon's Unix domain socket and prints the framed JSON
+// responses. The request documents are exactly vpart_cli's (see
+// src/api/request_json.h), plus the optional "serve" envelope:
+//
+//   {"instance": {"builtin": "tpcc"}, "time_limit_seconds": 2,
+//    "serve": {"id": "req-1", "deadline_seconds": 10, "qos": "interactive"}}
+//
+// Usage:
+//   $ ./build/vpart_cli --serve /tmp/vpart.sock &        # the daemon
+//   $ ./build/vpart_client --socket /tmp/vpart.sock request.json
+//   $ ./build/vpart_client --socket /tmp/vpart.sock a.json b.json  # pipelined
+//   $ echo '{"instance": {"builtin": "tpcc"}}' | \
+//       ./build/vpart_client --socket /tmp/vpart.sock
+//
+// With several request files the client pipelines: all requests are sent
+// first, then all responses are read. Responses arrive in solve order —
+// set "serve": {"id": ...} to correlate.
+//
+// Exit codes: 0 all responses ok, 1 any error response, 2 bad usage.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace vpart;
+
+void PrintHelp() {
+  std::printf(
+      "usage: vpart_client --socket <path> [request.json ...]\n"
+      "\n"
+      "Sends each request document (stdin when none is given) to the\n"
+      "advisor daemon at <path> and prints the JSON responses. Start the\n"
+      "daemon with: vpart_cli --serve <path>\n"
+      "\n"
+      "options:\n"
+      "  --socket <path>   the daemon's Unix domain socket (required)\n"
+      "  --help            this text\n");
+}
+
+std::string ReadAll(std::FILE* in) {
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, n);
+  }
+  return text;
+}
+
+/// True when the response document is the typed error envelope.
+bool IsErrorResponse(const std::string& payload) {
+  StatusOr<JsonValue> doc = JsonValue::Parse(payload);
+  return doc.ok() && doc->Find("error") != nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> request_paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (std::strcmp(arg, "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--socket needs a value (try --help)\n");
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    } else {
+      request_paths.push_back(arg);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket is required (try --help)\n");
+    return 2;
+  }
+
+  std::vector<std::string> requests;
+  if (request_paths.empty()) {
+    requests.push_back(ReadAll(stdin));
+  } else {
+    for (const std::string& path : request_paths) {
+      if (path == "-") {
+        requests.push_back(ReadAll(stdin));
+        continue;
+      }
+      std::FILE* in = std::fopen(path.c_str(), "r");
+      if (in == nullptr) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 2;
+      }
+      requests.push_back(ReadAll(in));
+      std::fclose(in);
+    }
+  }
+
+  StatusOr<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& request : requests) {
+    const Status sent = client->Send(request);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "send failed: %s\n", sent.ToString().c_str());
+      return 1;
+    }
+  }
+  int rc = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    StatusOr<std::string> response = client->Receive();
+    if (!response.ok()) {
+      std::fprintf(stderr, "receive failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    if (IsErrorResponse(*response)) rc = 1;
+  }
+  return rc;
+}
