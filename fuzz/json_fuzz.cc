@@ -17,6 +17,7 @@
 
 #include "api/json.h"
 #include "api/request_json.h"
+#include "dist/wire_messages.h"
 
 namespace {
 
@@ -27,6 +28,23 @@ void FuzzOne(const uint8_t* data, size_t size) {
   if (doc.ok()) {
     (void)doc->Serialize(2);
     (void)doc->Serialize(0);
+    // Distributed-wire decoders: what a coordinator/worker would do with
+    // a hostile peer's frame. Sub-payloads are tried whole-document too,
+    // so corpus entries can target one codec directly.
+    (void)vpart::DistMessageType(*doc);
+    (void)vpart::DecodeFixings(*doc);
+    (void)vpart::DecodeBasis(*doc);
+    (void)vpart::DecodeLpStats(*doc);
+    (void)vpart::DecodeMipResult(*doc);
+    if (const vpart::JsonValue* mip = doc->Find("mip")) {
+      (void)vpart::DecodeMipResult(*mip);
+    }
+    if (const vpart::JsonValue* basis = doc->Find("basis")) {
+      (void)vpart::DecodeBasis(*basis);
+    }
+    if (const vpart::JsonValue* fixings = doc->Find("fixings")) {
+      (void)vpart::DecodeFixings(*fixings);
+    }
   }
   // Schema layer on top: typed readers, unknown-key checks, enum parses.
   (void)vpart::ParseCliRequest(text);

@@ -330,6 +330,25 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text) {
     }
     VPART_RETURN_IF_ERROR(serve_reader.CheckNoUnknownKeys());
   }
+  if (const JsonValue* dist = reader.Find("dist")) {
+    if (!dist->is_object()) {
+      return InvalidArgumentError("\"dist\" must be an object");
+    }
+    ObjectReader dist_reader(*dist, "\"dist\"");
+    VPART_RETURN_IF_ERROR(dist_reader.ReadString("mode", &cli.dist.mode));
+    VPART_RETURN_IF_ERROR(
+        dist_reader.ReadInt("frontier_units", &cli.dist.frontier_units));
+    VPART_RETURN_IF_ERROR(dist_reader.CheckNoUnknownKeys());
+    if (cli.dist.mode != "auto" && cli.dist.mode != "tables" &&
+        cli.dist.mode != "subtrees") {
+      return InvalidArgumentError(
+          "\"dist.mode\" must be \"auto\", \"tables\", or \"subtrees\" "
+          "(got \"" + cli.dist.mode + "\")");
+    }
+    if (cli.dist.frontier_units < 0) {
+      return InvalidArgumentError("\"dist.frontier_units\" must be >= 0");
+    }
+  }
   VPART_RETURN_IF_ERROR(reader.CheckNoUnknownKeys());
   if (instance_spec == nullptr) {
     return reader.MissingKeyError("instance");
@@ -371,6 +390,79 @@ StatusOr<Instance> LoadCliInstance(const CliRequest& request) {
     return MakeNamedRandomInstance(request.random);
   }
   return InvalidArgumentError("request names no instance");
+}
+
+JsonValue CliRequestToJson(const CliRequest& cli) {
+  const AdviseRequest& request = cli.request;
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue instance = JsonValue::MakeObject();
+  if (!cli.instance_file.empty()) instance.Set("file", cli.instance_file);
+  if (!cli.instance_text.empty()) instance.Set("text", cli.instance_text);
+  if (!cli.builtin.empty()) instance.Set("builtin", cli.builtin);
+  if (!cli.random.empty()) instance.Set("random", cli.random);
+  out.Set("instance", std::move(instance));
+  out.Set("solver", request.solver);
+  out.Set("num_sites", request.num_sites);
+  out.Set("num_threads", request.num_threads);
+  JsonValue cost = JsonValue::MakeObject();
+  cost.Set("p", request.cost.p);
+  cost.Set("lambda", request.cost.lambda);
+  out.Set("cost", std::move(cost));
+  JsonValue cost_model = JsonValue::MakeObject();
+  cost_model.Set("backend", request.cost_model.backend);
+  JsonValue cacheline = JsonValue::MakeObject();
+  cacheline.Set("line_bytes", request.cost_model.cacheline.line_bytes);
+  cacheline.Set("row_header_bytes",
+                request.cost_model.cacheline.row_header_bytes);
+  cacheline.Set("read_factor", request.cost_model.cacheline.read_factor);
+  cacheline.Set("write_factor", request.cost_model.cacheline.write_factor);
+  cacheline.Set("transfer_header_bytes",
+                request.cost_model.cacheline.transfer_header_bytes);
+  cost_model.Set("cacheline", std::move(cacheline));
+  JsonValue disk_page = JsonValue::MakeObject();
+  disk_page.Set("page_bytes", request.cost_model.disk_page.page_bytes);
+  disk_page.Set("seek_pages", request.cost_model.disk_page.seek_pages);
+  disk_page.Set("write_factor", request.cost_model.disk_page.write_factor);
+  cost_model.Set("disk_page", std::move(disk_page));
+  out.Set("cost_model", std::move(cost_model));
+  out.Set("allow_replication", request.allow_replication);
+  out.Set("use_attribute_grouping", request.use_attribute_grouping);
+  out.Set("latency_penalty", request.latency_penalty);
+  out.Set("time_limit_seconds", request.time_limit_seconds);
+  out.Set("seed", static_cast<long>(request.seed));
+  out.Set("obs", ObsLevelName(request.obs));
+  out.Set("certify", request.certify);
+  JsonValue ilp = JsonValue::MakeObject();
+  ilp.Set("mip_gap", request.ilp.mip_gap);
+  ilp.Set("bnb_threads", request.ilp.bnb_threads);
+  ilp.Set("enable_dive", request.ilp.enable_dive);
+  ilp.Set("warm_start_seconds", request.ilp.warm_start_seconds);
+  ilp.Set("audit", AuditLevelName(request.ilp.lp_audit));
+  out.Set("ilp", std::move(ilp));
+  JsonValue sa = JsonValue::MakeObject();
+  sa.Set("max_restarts", request.sa.max_restarts);
+  sa.Set("slice_seconds", request.sa.slice_seconds);
+  out.Set("sa", std::move(sa));
+  JsonValue exhaustive = JsonValue::MakeObject();
+  exhaustive.Set("max_candidates", request.exhaustive.max_candidates);
+  out.Set("exhaustive", std::move(exhaustive));
+  JsonValue incremental = JsonValue::MakeObject();
+  incremental.Set("initial_fraction", request.incremental.initial_fraction);
+  incremental.Set("batches", request.incremental.batches);
+  out.Set("incremental", std::move(incremental));
+  JsonValue portfolio = JsonValue::MakeObject();
+  portfolio.Set("run_ilp", request.portfolio.run_ilp);
+  portfolio.Set("run_sa", request.portfolio.run_sa);
+  portfolio.Set("run_incremental", request.portfolio.run_incremental);
+  out.Set("portfolio", std::move(portfolio));
+  out.Set("batch", cli.batch);
+  out.Set("emit_partitioning", cli.emit_partitioning);
+  out.Set("emit_events", cli.emit_events);
+  JsonValue dist = JsonValue::MakeObject();
+  dist.Set("mode", cli.dist.mode);
+  dist.Set("frontier_units", cli.dist.frontier_units);
+  out.Set("dist", std::move(dist));
+  return out;
 }
 
 JsonValue PartitioningToJson(const Instance& instance,

@@ -47,7 +47,9 @@ namespace vpart {
 ///     "emit_partitioning": true,
 ///     "emit_events": false,
 ///     "serve": {"id": "req-1", "deadline_seconds": 10,
-///               "qos": "interactive"}             // daemon-mode envelope
+///               "qos": "interactive"},            // daemon-mode envelope
+///     "dist": {"mode": "auto",                    // or "tables", "subtrees"
+///              "frontier_units": 0}               // 0 = 4x worker count
 ///   }
 ///
 /// Only "instance" is required; everything else defaults as above.
@@ -67,6 +69,19 @@ struct ServeRequestOptions {
   ServeQos qos = ServeQos::kInteractive;
 };
 
+/// The "dist" block: how a coordinator (dist/coordinator.h) shards this
+/// request across worker processes. Ignored by the one-shot CLI and the
+/// serve daemon.
+struct DistRequestOptions {
+  /// "auto" (tables when "batch" is set, subtrees otherwise), "tables"
+  /// (per-table subinstances farmed out), or "subtrees" (B&B frontier
+  /// nodes farmed out).
+  std::string mode = "auto";
+  /// Target number of frontier units for subtree mode; 0 picks
+  /// 4x the worker count.
+  int frontier_units = 0;
+};
+
 struct CliRequest {
   // Exactly one of these is non-empty.
   std::string instance_file;
@@ -81,6 +96,7 @@ struct CliRequest {
   bool emit_partitioning = true;
   bool emit_events = false;
   ServeRequestOptions serve;
+  DistRequestOptions dist;
 };
 
 /// Parses and validates the JSON text above.
@@ -88,6 +104,14 @@ StatusOr<CliRequest> ParseCliRequest(const std::string& json_text);
 
 /// Materializes the instance a CliRequest names.
 StatusOr<Instance> LoadCliInstance(const CliRequest& request);
+
+/// Serializes a CliRequest back into the JSON document ParseCliRequest
+/// accepts — the exact inverse for every field the schema comment above
+/// documents (the in-process-only WarmSeed does not serialize). The
+/// coordinator uses this to ship one self-contained job document (with the
+/// instance embedded as text) to worker processes, so workers re-validate
+/// through the same parser every other entry point uses.
+JsonValue CliRequestToJson(const CliRequest& request);
 
 /// Response document for one advise run. `events` may be empty (attach the
 /// stream a session recorded to honor emit_events).

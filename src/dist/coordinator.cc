@@ -1,0 +1,754 @@
+#include "dist/coordinator.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "cost/partitioning.h"
+#include "dist/wire_messages.h"
+#include "mip/frontier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "solver/formulation.h"
+#include "solver/latency.h"
+#include "solver/sa_solver.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "workload/instance_io.h"
+
+namespace vpart {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string SelfExePath() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "";
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+long LongField(const JsonValue& message, const char* key, long fallback) {
+  const JsonValue* value = message.Find(key);
+  return (value != nullptr && value->is_number())
+             ? static_cast<long>(value->as_number())
+             : fallback;
+}
+
+Counter& RequeuesTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "vpart_dist_requeues_total",
+      "Work units restored from dead or silent workers");
+  return counter;
+}
+
+Counter& BroadcastsTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "vpart_dist_incumbent_broadcasts_total",
+      "Incumbent objective broadcasts fanned out to workers");
+  return counter;
+}
+
+Counter& SessionsTotal() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "vpart_dist_sessions_total", "Distributed solve sessions run");
+  return counter;
+}
+
+}  // namespace
+
+/// Bridges the registry's Solver interface onto the coordinator so subtree
+/// solves ride the standard Advise() orchestration.
+class DistSolverAdapter : public Solver {
+ public:
+  explicit DistSolverAdapter(DistCoordinator* coordinator)
+      : coordinator_(coordinator) {}
+  StatusOr<SolverRun> Solve(const CostCoefficients& cost_model,
+                            const AdviseRequest& request,
+                            const SolveContext& ctx) override {
+    return coordinator_->SolveSubtrees(cost_model, request, ctx);
+  }
+
+ private:
+  DistCoordinator* coordinator_;
+};
+
+StatusOr<std::unique_ptr<DistCoordinator>> DistCoordinator::Start(
+    const Options& options) {
+  std::unique_ptr<DistCoordinator> coordinator(new DistCoordinator());
+  Status started = coordinator->StartImpl(options);
+  if (!started.ok()) {
+    coordinator->Shutdown();
+    return started;
+  }
+  return coordinator;
+}
+
+Status DistCoordinator::StartImpl(const Options& options) {
+  options_ = options;
+  if (options_.num_workers < 1) {
+    return InvalidArgumentError("dist coordinator: num_workers must be >= 1");
+  }
+  socket_path_ =
+      options_.socket_path.empty()
+          ? StrFormat("/tmp/vpart-dist-%d.sock", static_cast<int>(::getpid()))
+          : options_.socket_path;
+  StatusOr<std::unique_ptr<TransportListener>> listener =
+      ListenUds(socket_path_);
+  VPART_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  monitor_thread_ = std::thread([this] { MonitorLoop(); });
+
+  if (options_.spawn_workers) {
+    for (int i = 0; i < options_.num_workers; ++i) {
+      VPART_RETURN_IF_ERROR(SpawnWorker());
+    }
+  }
+  // Externally attached workers (spawn_workers false) can only connect
+  // after Start() returns, so only spawned fleets are awaited here; the
+  // caller gates on WaitForWorkers() once its workers are up.
+  if (options_.spawn_workers &&
+      !WaitForWorkers(options_.num_workers,
+                      options_.startup_timeout_seconds)) {
+    return DeadlineExceededError(StrFormat(
+        "dist coordinator: %d workers did not connect to %s within %.0fs",
+        options_.num_workers, socket_path_.c_str(),
+        options_.startup_timeout_seconds));
+  }
+
+  SolverCapabilities capabilities;
+  capabilities.exact = true;
+  capabilities.latency_penalty = true;
+  capabilities.multi_threaded = true;
+  capabilities.anytime = true;
+  // The proven objective value is worker-count-independent; which of
+  // several equal-cost optima wins the incumbent race is not.
+  capabilities.deterministic = false;
+  VPART_RETURN_IF_ERROR(SolverRegistry::Global().Register(
+      kSolverDist, capabilities, [this]() -> std::unique_ptr<Solver> {
+        return std::make_unique<DistSolverAdapter>(this);
+      }));
+  solver_registered_ = true;
+  return Status::Ok();
+}
+
+DistCoordinator::~DistCoordinator() { Shutdown(); }
+
+Status DistCoordinator::SpawnWorker() {
+  const std::string binary = options_.worker_binary.empty()
+                                 ? SelfExePath()
+                                 : options_.worker_binary;
+  if (binary.empty()) {
+    return InternalError("dist coordinator: cannot resolve worker binary");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return InternalError("dist coordinator: fork failed");
+  if (pid == 0) {
+    ::execl(binary.c_str(), binary.c_str(), "--worker", socket_path_.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spawned_pids_.push_back(pid);
+  return Status::Ok();
+}
+
+void DistCoordinator::AcceptLoop() {
+  while (true) {
+    StatusOr<std::unique_ptr<Transport>> accepted = listener_->Accept();
+    if (!accepted.ok()) return;  // listener closed
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      (*accepted)->Close();
+      return;
+    }
+    auto worker = std::make_unique<WorkerState>();
+    worker->id = static_cast<int>(workers_.size());
+    worker->transport = std::move(*accepted);
+    worker->last_seen = std::chrono::steady_clock::now();
+    WorkerState* raw = worker.get();
+    workers_.push_back(std::move(worker));
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+  }
+}
+
+void DistCoordinator::ReaderLoop(WorkerState* worker) {
+  while (true) {
+    StatusOr<JsonValue> message = worker->transport->Receive();
+    if (!message.ok()) break;
+    const std::string type = DistMessageType(*message);
+    std::lock_guard<std::mutex> lock(mu_);
+    worker->last_seen = std::chrono::steady_clock::now();
+    if (type == kDistMsgHello) {
+      worker->ready = true;
+      worker->reported_pid =
+          static_cast<pid_t>(LongField(*message, "pid", -1));
+      workers_cv_.notify_all();
+      PumpLocked();
+    } else if (type == kDistMsgHeartbeat) {
+      // The last_seen refresh above is the whole point.
+    } else if (type == kDistMsgIncumbent) {
+      HandleIncumbentLocked(worker, *message);
+    } else if (type == kDistMsgUnitResult || type == kDistMsgUnitError) {
+      HandleResultLocked(worker, type, *message);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  HandleWorkerDeathLocked(worker);
+}
+
+void DistCoordinator::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const double timeout = std::max(0.5, options_.heartbeat_timeout_seconds);
+  while (!monitor_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout / 4),
+      [this] { return shutting_down_; })) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& worker : workers_) {
+      if (!worker->alive) continue;
+      const double silent =
+          std::chrono::duration<double>(now - worker->last_seen).count();
+      // Abort wakes the reader, whose exit path runs the one shared death
+      // protocol (requeue + pump) for hung and dead workers alike.
+      if (silent > timeout) worker->transport->Abort();
+    }
+  }
+}
+
+int DistCoordinator::UsableWorkersLocked() const {
+  int usable = 0;
+  for (const auto& worker : workers_) {
+    if (worker->alive && worker->ready) ++usable;
+  }
+  return usable;
+}
+
+int DistCoordinator::usable_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return UsableWorkersLocked();
+}
+
+bool DistCoordinator::WaitForWorkers(int n, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return workers_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this, n] { return shutting_down_ || UsableWorkersLocked() >= n; }) &&
+         UsableWorkersLocked() >= n;
+}
+
+std::vector<pid_t> DistCoordinator::worker_pids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spawned_pids_;
+}
+
+long DistCoordinator::requeued_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requeued_total_;
+}
+
+void DistCoordinator::PumpLocked() {
+  if (session_ == nullptr || !session_->active) return;
+  for (auto& worker_ptr : workers_) {
+    WorkerState* worker = worker_ptr.get();
+    if (!worker->alive || !worker->ready) continue;
+    if (worker->job_serial != session_->serial) {
+      if (!worker->transport->Send(session_->job).ok()) continue;
+      worker->job_serial = session_->serial;
+      worker->current_unit = -1;
+      // A late joiner missed earlier broadcasts; hand it the current best.
+      if (session_->subtree && session_->have_best) {
+        JsonValue incumbent = MakeDistMessage(kDistMsgIncumbent);
+        incumbent.Set("session", session_->serial);
+        incumbent.Set("objective", session_->best_objective);
+        (void)worker->transport->Send(incumbent);
+      }
+    }
+    if (worker->current_unit >= 0) continue;
+    std::optional<long> id = session_->ledger.Acquire(worker->id);
+    if (!id.has_value()) continue;
+    worker->current_unit = *id;
+    (void)worker->transport->Send(session_->payloads[*id]);
+  }
+}
+
+void DistCoordinator::BroadcastIncumbentLocked(const WorkerState* from) {
+  if (session_ == nullptr || !session_->active || !session_->have_best) {
+    return;
+  }
+  for (auto& worker : workers_) {
+    if (worker.get() == from || !worker->alive || !worker->ready) continue;
+    if (worker->job_serial != session_->serial) continue;
+    JsonValue incumbent = MakeDistMessage(kDistMsgIncumbent);
+    incumbent.Set("session", session_->serial);
+    incumbent.Set("objective", session_->best_objective);
+    (void)worker->transport->Send(incumbent);
+    BroadcastsTotal().Increment();
+  }
+}
+
+void DistCoordinator::HandleIncumbentLocked(WorkerState* worker,
+                                            const JsonValue& message) {
+  if (session_ == nullptr || !session_->active || !session_->subtree) return;
+  if (LongField(message, "session", -1) != session_->serial) return;
+  const JsonValue* objective = message.Find("objective");
+  const JsonValue* values = message.Find("values");
+  if (objective == nullptr || !objective->is_number() || values == nullptr ||
+      !values->is_array()) {
+    return;
+  }
+  const double candidate = objective->as_number();
+  if (session_->have_best && candidate >= session_->best_objective) return;
+  std::vector<double> decoded;
+  decoded.reserve(values->as_array().size());
+  for (const JsonValue& v : values->as_array()) {
+    if (!v.is_number()) return;
+    decoded.push_back(v.as_number());
+  }
+  session_->have_best = true;
+  session_->best_objective = candidate;
+  session_->best_values = std::move(decoded);
+  BroadcastIncumbentLocked(worker);
+}
+
+void DistCoordinator::HandleResultLocked(WorkerState* worker,
+                                         const std::string& type,
+                                         const JsonValue& message) {
+  const long id = LongField(message, "id", -1);
+  if (worker->current_unit == id) worker->current_unit = -1;
+  if (session_ == nullptr || !session_->active ||
+      LongField(message, "session", -1) != session_->serial) {
+    PumpLocked();  // stale result from an earlier session; worker is idle
+    return;
+  }
+  if (!session_->ledger.Complete(worker->id, id)) {
+    // The unit was requeued to someone else while this worker was presumed
+    // dead; both answers are equivalent, first completion wins.
+    PumpLocked();
+    return;
+  }
+  if (type == kDistMsgUnitError) {
+    const JsonValue* error = message.Find("error");
+    session_->error = InternalError(StrFormat(
+        "dist unit %ld failed: %s", id,
+        (error != nullptr && error->is_string()) ? error->as_string().c_str()
+                                                 : "unknown error"));
+    session_->ledger.Cancel();
+    return;
+  }
+  session_->results[id] = message;
+  PumpLocked();
+}
+
+void DistCoordinator::HandleWorkerDeathLocked(WorkerState* worker) {
+  if (!worker->alive) return;
+  worker->alive = false;
+  worker->ready = false;
+  worker->current_unit = -1;
+  workers_cv_.notify_all();
+  if (session_ == nullptr || !session_->active) return;
+  const std::vector<long> restored = session_->ledger.Requeue(worker->id);
+  requeued_total_ += static_cast<long>(restored.size());
+  RequeuesTotal().Add(static_cast<long>(restored.size()));
+  if (UsableWorkersLocked() == 0 && !session_->ledger.AllDone()) {
+    session_->error = InternalError(
+        "dist coordinator: every worker lost with units outstanding");
+    session_->ledger.Cancel();
+    return;
+  }
+  PumpLocked();
+}
+
+DistCoordinator::SessionOutcome DistCoordinator::RunSession(
+    bool subtree, JsonValue job, std::map<long, JsonValue> payloads,
+    bool have_best, double best_objective, std::vector<double> best_values,
+    const CancellationToken& token) {
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionsTotal().Increment();
+    session_ = std::make_unique<Session>();
+    session = session_.get();
+    session->serial = ++session_serial_;
+    session->subtree = subtree;
+    job.Set("session", session->serial);
+    session->job = std::move(job);
+    for (auto& entry : payloads) {
+      entry.second.Set("session", session->serial);
+      session->ledger.Add(entry.first);
+    }
+    session->payloads = std::move(payloads);
+    session->have_best = have_best;
+    session->best_objective = best_objective;
+    session->best_values = std::move(best_values);
+    PumpLocked();
+    if (session->have_best) BroadcastIncumbentLocked(nullptr);
+  }
+
+  while (!session->ledger.WaitFor(0.2)) {
+    if (token.cancelled()) break;  // deadline: take what finished
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!session->error.ok() || shutting_down_) break;
+  }
+
+  SessionOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session->active = false;
+    outcome.results = std::move(session->results);
+    outcome.error = session->error;
+    outcome.completed = session->ledger.AllDone();
+    outcome.have_best = session->have_best;
+    outcome.best_objective = session->best_objective;
+    outcome.best_values = std::move(session->best_values);
+    session_.reset();
+  }
+  return outcome;
+}
+
+StatusOr<AdviseResponse> DistCoordinator::AdviseDistributed(
+    const Instance& instance, const CliRequest& cli) {
+  std::lock_guard<std::mutex> serialize(advise_mu_);
+  if (usable_workers() == 0) {
+    return FailedPreconditionError(
+        "dist coordinator: no workers attached (WaitForWorkers first)");
+  }
+  frontier_target_ = cli.dist.frontier_units;
+  AdviseRequest request = cli.request;
+  request.solver = kSolverDist;
+  return Advise(instance, request);
+}
+
+StatusOr<SolverRun> DistCoordinator::SolveSubtrees(
+    const CostCoefficients& cost_model, const AdviseRequest& request,
+    const SolveContext& ctx) {
+  Span span("dist_solve", "dist");
+  FormulationOptions fopts;
+  fopts.num_sites = request.num_sites;
+  fopts.allow_replication = request.allow_replication;
+  IlpFormulation formulation = BuildIlpFormulation(cost_model, fopts);
+  const bool latency = request.latency_penalty > 0;
+  if (latency) {
+    AddLatencyToFormulation(cost_model, request.latency_penalty, formulation);
+  }
+
+  // Warm incumbent, mirroring the ilp adapter: a cached cross-request seed
+  // replaces the internal SA warm start; both are skipped under latency
+  // (the ψ columns change the model shape EncodePartitioning covers).
+  const Partitioning* seed_incumbent = nullptr;
+  SaResult warm;
+  bool have_warm = false;
+  std::vector<double> initial;
+  if (!latency) {
+    if (request.warm.incumbent != nullptr &&
+        ValidatePartitioning(cost_model.instance(), *request.warm.incumbent,
+                             !request.allow_replication)
+            .ok()) {
+      seed_incumbent = request.warm.incumbent.get();
+      initial = formulation.EncodePartitioning(cost_model, *seed_incumbent);
+    } else if (request.ilp.warm_start_seconds > 0) {
+      SaOptions warm_sa;
+      warm_sa.seed = request.seed;
+      warm_sa.allow_replication = request.allow_replication;
+      warm_sa.time_limit_seconds =
+          request.time_limit_seconds > 0
+              ? std::min(request.ilp.warm_start_seconds,
+                         request.time_limit_seconds / 4)
+              : request.ilp.warm_start_seconds;
+      warm_sa.cancel_flag = ctx.token.flag();
+      Span warm_span("dist_warm_start", "dist");
+      warm = SolveWithSa(cost_model, request.num_sites, warm_sa);
+      have_warm = true;
+      initial = formulation.EncodePartitioning(cost_model, warm.partitioning);
+    }
+  }
+
+  MipOptions expand;
+  expand.time_limit_seconds = ctx.token.SolverBudgetSeconds();
+  expand.relative_gap = request.ilp.mip_gap;
+  expand.lp_options.audit_level = request.ilp.lp_audit;
+  expand.enable_dive = request.ilp.enable_dive;
+  expand.cancel_flag = ctx.token.flag();
+  if (!latency) expand.root_basis = request.warm.root_basis;
+  if (!initial.empty()) expand.initial_solution = &initial;
+  int target = frontier_target_;
+  if (target <= 0) target = 4 * std::max(1, usable_workers());
+  FrontierExpansion expansion =
+      ExpandFrontier(formulation.model, expand, target);
+  span.AddArg("frontier_units", static_cast<long>(expansion.units.size()));
+
+  MipResult& root = expansion.root;
+  long nodes = root.nodes;
+  LpSolveStats stats = root.lp_stats;
+  bool all_exhausted = expansion.clean;
+  bool any_external = root.pruned_by_external_bound;
+  bool have_best = root.has_incumbent();
+  double best_objective = have_best ? root.objective : kInf;
+  std::vector<double> best_values =
+      have_best ? root.values : std::vector<double>();
+  bool session_completed = true;
+  double bound = kInf;      // min over open-subtree bounds
+  bool bound_valid = true;  // every contributing bound was finite
+
+  if (expansion.units.empty()) {
+    all_exhausted = expansion.clean && root.search_exhausted;
+    if (std::isfinite(root.best_bound)) {
+      bound = std::min(bound, root.best_bound);
+    }
+  } else {
+    CliRequest job_cli;
+    job_cli.instance_text = WriteInstanceText(cost_model.instance());
+    job_cli.request = request;
+    // Workers never dispatch by solver name in subtree mode, but the job
+    // document revalidates through ParseCliRequest, whose registry check
+    // must not see this coordinator-private name.
+    job_cli.request.solver = kSolverIlp;
+    job_cli.request.time_limit_seconds = ctx.token.SolverBudgetSeconds();
+    JsonValue job = MakeDistMessage(kDistMsgJob);
+    job.Set("mode", "subtrees");
+    job.Set("request", CliRequestToJson(job_cli));
+
+    std::map<long, JsonValue> payloads;
+    std::map<long, double> shipped_bounds;
+    for (const FrontierUnit& unit : expansion.units) {
+      JsonValue payload = MakeDistMessage(kDistMsgUnit);
+      payload.Set("id", unit.id);
+      if (std::isfinite(unit.bound)) payload.Set("bound", unit.bound);
+      payload.Set("fixings", EncodeFixings(unit.fixings));
+      payload.Set("basis", EncodeBasis(unit.basis));
+      payloads[unit.id] = std::move(payload);
+      shipped_bounds[unit.id] = unit.bound;
+    }
+
+    SessionOutcome outcome =
+        RunSession(/*subtree=*/true, std::move(job), std::move(payloads),
+                   have_best, best_objective, best_values, ctx.token);
+    if (!outcome.error.ok()) return outcome.error;
+    session_completed = outcome.completed;
+    if (outcome.have_best &&
+        (!have_best || outcome.best_objective < best_objective)) {
+      have_best = true;
+      best_objective = outcome.best_objective;
+      best_values = std::move(outcome.best_values);
+    }
+
+    for (const auto& entry : shipped_bounds) {
+      const long id = entry.first;
+      const double shipped_bound = entry.second;
+      auto found = outcome.results.find(id);
+      if (found == outcome.results.end()) {
+        // Never finished (deadline/cancel): the subtree stays open and its
+        // shipped parent bound still bounds it.
+        all_exhausted = false;
+        if (std::isfinite(shipped_bound)) {
+          bound = std::min(bound, shipped_bound);
+        } else {
+          bound_valid = false;
+        }
+        continue;
+      }
+      const JsonValue* mip = found->second.Find("mip");
+      StatusOr<MipResult> decoded =
+          DecodeMipResult(mip != nullptr ? *mip : JsonValue());
+      VPART_RETURN_IF_ERROR(decoded.status());
+      nodes += decoded->nodes;
+      stats.Add(decoded->lp_stats);
+      all_exhausted = all_exhausted && decoded->search_exhausted;
+      any_external = any_external || decoded->pruned_by_external_bound;
+      if (decoded->has_incumbent() &&
+          (!have_best || decoded->objective < best_objective)) {
+        have_best = true;
+        best_objective = decoded->objective;
+        best_values = decoded->values;
+      }
+      // kInfeasible marks an empty (or globally dominated) subtree: bound
+      // +inf, nothing to fold into the global minimum.
+      if (decoded->status == MipStatus::kInfeasible) continue;
+      if (std::isfinite(decoded->best_bound)) {
+        bound = std::min(bound, decoded->best_bound);
+      } else if (!decoded->search_exhausted) {
+        if (std::isfinite(shipped_bound)) {
+          bound = std::min(bound, shipped_bound);
+        } else {
+          bound_valid = false;
+        }
+      }
+    }
+  }
+
+  SolverRun run;
+  run.bnb_nodes = nodes;
+  run.lp_stats = stats;
+  run.pruned_by_external_bound = any_external;
+  run.search_exhausted = all_exhausted && session_completed;
+  run.root_basis = root.root_basis;
+  const bool proven = run.search_exhausted && have_best;
+  if (bound < kInf && bound_valid) {
+    run.best_bound = proven ? std::min(bound, best_objective) : bound;
+  } else if (proven) {
+    // Every subtree closed without a finite bound (infeasible or pruned by
+    // the global incumbent): the incumbent is its own proof.
+    run.best_bound = best_objective;
+  } else {
+    run.best_bound = root.best_bound;
+  }
+
+  if (have_best) {
+    run.partitioning = formulation.ExtractPartitioning(best_values);
+    run.algorithm =
+        expansion.units.empty()
+            ? "dist(serial)"
+            : StrFormat("dist[%d]", static_cast<int>(expansion.units.size()));
+    run.proven_optimal = proven;
+  } else if (seed_incumbent != nullptr) {
+    run.partitioning = *seed_incumbent;
+    run.algorithm = "dist(timeout)->seed";
+  } else if (have_warm) {
+    run.partitioning = std::move(warm.partitioning);
+    run.algorithm = "dist(timeout)->sa";
+  } else {
+    return DeadlineExceededError(
+        "distributed branch & bound found no incumbent within its budget");
+  }
+  return run;
+}
+
+StatusOr<BatchAdvisorResult> DistCoordinator::AdviseSchemaDistributed(
+    const Instance& instance, const BatchAdviseRequest& batch) {
+  std::lock_guard<std::mutex> serialize(advise_mu_);
+  if (usable_workers() == 0) {
+    return FailedPreconditionError(
+        "dist coordinator: no workers attached (WaitForWorkers first)");
+  }
+  const AdviseRequest& request = batch.request;
+  if (request.num_sites < 1) {
+    return InvalidArgumentError("num_sites must be >= 1");
+  }
+  Stopwatch watch;
+  ScopedObsLevel scoped_obs(request.obs);
+  Span span("dist_batch", "dist");
+  span.AddArg("instance", instance.name());
+  StatusOr<std::vector<TableSubinstance>> split =
+      SplitInstanceByTable(instance);
+  VPART_RETURN_IF_ERROR(split.status());
+  std::vector<TableSubinstance>& subs = *split;
+  const int n = static_cast<int>(subs.size());
+  span.AddArg("tables", static_cast<long>(n));
+
+  CliRequest job_cli;
+  job_cli.instance_text = WriteInstanceText(instance);
+  job_cli.request = request;
+  job_cli.batch = true;
+  JsonValue job = MakeDistMessage(kDistMsgJob);
+  job.Set("mode", "tables");
+  job.Set("request", CliRequestToJson(job_cli));
+
+  std::map<long, JsonValue> payloads;
+  for (int i = 0; i < n; ++i) {
+    JsonValue payload = MakeDistMessage(kDistMsgUnit);
+    payload.Set("id", static_cast<long>(i));
+    payload.Set("table", i);
+    payloads[i] = std::move(payload);
+  }
+
+  // Per-table budgets are enforced worker-side (every Advise carries
+  // request.time_limit_seconds); the session deadline is only the safety
+  // net for a fleet that can no longer make progress.
+  const CancellationToken token = CancellationToken::WithDeadline(
+      request.time_limit_seconds > 0
+          ? request.time_limit_seconds * std::max(1, n) + 30.0
+          : 0.0);
+  SessionOutcome outcome =
+      RunSession(/*subtree=*/false, std::move(job), std::move(payloads),
+                 /*have_best=*/false, 0.0, {}, token);
+  VPART_RETURN_IF_ERROR(outcome.error);
+  if (!outcome.completed) {
+    return DeadlineExceededError(
+        "distributed batch advise did not finish within its budget");
+  }
+
+  std::vector<AdvisorResult> answers;
+  answers.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto found = outcome.results.find(i);
+    if (found == outcome.results.end()) {
+      return InternalError(
+          StrFormat("dist batch: table unit %d has no result", i));
+    }
+    const JsonValue* advisor = found->second.Find("advisor");
+    StatusOr<AdvisorResult> decoded = DecodeAdvisorResult(
+        subs[i].instance, advisor != nullptr ? *advisor : JsonValue());
+    VPART_RETURN_IF_ERROR(decoded.status());
+    answers.push_back(std::move(*decoded));
+  }
+  StatusOr<BatchAdvisorResult> merged =
+      MergeTableAdvice(instance, subs, std::move(answers), request.num_sites);
+  VPART_RETURN_IF_ERROR(merged.status());
+  merged->threads_used = usable_workers();
+  merged->combined.seconds = watch.ElapsedSeconds();
+  merged->seconds = merged->combined.seconds;
+  return merged;
+}
+
+void DistCoordinator::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    if (session_ != nullptr && session_->active) {
+      session_->error =
+          InternalError("dist coordinator: shut down mid-session");
+      session_->ledger.Cancel();
+      session_->active = false;
+    }
+    for (auto& worker : workers_) {
+      if (worker->alive) {
+        (void)worker->transport->Send(MakeDistMessage(kDistMsgShutdown));
+      }
+    }
+  }
+  monitor_cv_.notify_all();
+  workers_cv_.notify_all();
+  if (solver_registered_) {
+    (void)SolverRegistry::Global().Unregister(kSolverDist);
+    solver_registered_ = false;
+  }
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& worker : workers_) worker->transport->Abort();
+  }
+  // No lock below: accept and reader threads are gone or exiting, and no
+  // new ones can start.
+  for (auto& worker : workers_) {
+    if (worker->reader.joinable()) worker->reader.join();
+  }
+  for (auto& worker : workers_) worker->transport->Close();
+  for (pid_t pid : spawned_pids_) {
+    int status = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (true) {
+      const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+      if (reaped != 0) break;  // reaped, or not our child anymore
+      if (std::chrono::steady_clock::now() > deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+      ::usleep(20 * 1000);
+    }
+  }
+  spawned_pids_.clear();
+}
+
+}  // namespace vpart

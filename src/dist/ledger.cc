@@ -1,0 +1,87 @@
+#include "dist/ledger.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vpart {
+
+void WorkLedger::Add(long id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(id);
+  ++added_;
+}
+
+std::optional<long> WorkLedger::Acquire(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return std::nullopt;
+  const long id = pending_.front();
+  pending_.pop_front();
+  assigned_[id] = worker;
+  return id;
+}
+
+bool WorkLedger::Complete(int worker, long id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = assigned_.find(id);
+  if (it == assigned_.end() || it->second != worker) return false;
+  assigned_.erase(it);
+  ++done_;
+  if (done_ == added_) cv_.notify_all();
+  return true;
+}
+
+std::vector<long> WorkLedger::Requeue(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<long> returned;
+  for (auto it = assigned_.begin(); it != assigned_.end();) {
+    if (it->second == worker) {
+      returned.push_back(it->first);
+      it = assigned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Front of the queue, preserving id order: these nodes carry the best
+  // bounds, so the next idle worker should pick them up before fresh work.
+  for (auto it = returned.rbegin(); it != returned.rend(); ++it) {
+    pending_.push_front(*it);
+  }
+  requeued_total_ += static_cast<long>(returned.size());
+  return returned;
+}
+
+bool WorkLedger::AllDone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_ == added_;
+}
+
+bool WorkLedger::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return cancelled_ || done_ == added_; });
+  return done_ == added_;
+}
+
+bool WorkLedger::WaitFor(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [this] { return cancelled_ || done_ == added_; });
+  return done_ == added_;
+}
+
+void WorkLedger::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  cv_.notify_all();
+}
+
+bool WorkLedger::pending_empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.empty();
+}
+
+long WorkLedger::requeued_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requeued_total_;
+}
+
+}  // namespace vpart

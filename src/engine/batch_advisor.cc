@@ -160,9 +160,27 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
     }
   }
 
+  std::vector<AdvisorResult> answers;
+  answers.reserve(n);
+  for (int i = 0; i < n; ++i) answers.push_back(std::move(*results[i]));
+  StatusOr<BatchAdvisorResult> merged =
+      MergeTableAdvice(instance, subs, std::move(answers), request.num_sites);
+  VPART_RETURN_IF_ERROR(merged.status());
+  merged->threads_used = threads_used;
+  merged->combined.seconds = watch.ElapsedSeconds();
+  merged->seconds = merged->combined.seconds;
+  return merged;
+}
+
+StatusOr<BatchAdvisorResult> MergeTableAdvice(
+    const Instance& instance, const std::vector<TableSubinstance>& subs,
+    std::vector<AdvisorResult> results, int num_sites) {
+  if (num_sites < 1) return InvalidArgumentError("num_sites must be >= 1");
+  if (results.size() != subs.size()) {
+    return InvalidArgumentError("one result per table subinstance required");
+  }
+  const int n = static_cast<int>(subs.size());
   BatchAdvisorResult result_batch;
-  result_batch.threads_used = threads_used;
-  const int num_sites = request.num_sites;
   AdvisorResult& combined = result_batch.combined;
   combined.partitioning = Partitioning(instance.num_transactions(),
                                        instance.num_attributes(), num_sites);
@@ -176,7 +194,7 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
 
   for (int i = 0; i < n; ++i) {
     const TableSubinstance& sub = subs[i];
-    AdvisorResult& result = *results[i];
+    AdvisorResult& result = results[i];
 
     TableAdvice advice;
     advice.table_id = sub.table_id;
@@ -240,8 +258,6 @@ StatusOr<BatchAdvisorResult> AdviseSchema(const Instance& instance,
   }
   combined.algorithm_used =
       StrFormat("batch[%d]:%s", n, algorithm_list.c_str());
-  combined.seconds = watch.ElapsedSeconds();
-  result_batch.seconds = combined.seconds;
   return result_batch;
 }
 

@@ -74,6 +74,18 @@ struct BatchAdvisorResult {
   double seconds = 0.0;
 };
 
+/// Merges per-table results (results[i] answers subs[i]) into the combined
+/// whole-schema view documented on BatchAdvisorResult. This is the single
+/// merge implementation: AdviseSchema calls it after its in-process pool
+/// solves, and DistCoordinator calls it with results shipped back from
+/// worker processes — so distributed table-mode advice is byte-identical to
+/// a local batch over the same per-table answers. `threads_used`/`seconds`
+/// are the caller's to fill (the merge cannot know the wall clock of the
+/// solves that produced its inputs).
+StatusOr<BatchAdvisorResult> MergeTableAdvice(
+    const Instance& instance, const std::vector<TableSubinstance>& subs,
+    std::vector<AdvisorResult> results, int num_sites);
+
 /// Decomposes `instance` per table and advises all tables concurrently on a
 /// work-stealing pool, each through the service API (api/advise.h). Results
 /// are identical for any thread count (the per-table solves are independent

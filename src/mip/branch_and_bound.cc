@@ -4,9 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+
+#include "mip/frontier.h"
 
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
@@ -1011,6 +1014,231 @@ MipResult SolveMip(const LpModel& model, const MipOptions& options) {
   }
   BranchAndBound solver(model, options);
   return solver.Run();
+}
+
+// ---------------------------------------------------------------------------
+// Frontier expansion (mip/frontier.h): a bounded best-first pass sharing the
+// search's branching rule, warm-start ladder and pruning, stopping once the
+// open set is wide enough to farm out. Lives in this TU so the distributed
+// path cannot diverge from the in-process searches (same NodeLpSolver /
+// MostFractionalVariable / WithinGap helpers).
+// ---------------------------------------------------------------------------
+
+FrontierExpansion ExpandFrontier(const LpModel& model,
+                                 const MipOptions& options, int target_units) {
+  FrontierExpansion out;
+  MipResult& root = out.root;
+  Stopwatch watch;
+  Deadline deadline(options.time_limit_seconds);
+  NodeLpSolver node_lp(model, options);
+
+  // Immutable parent chains, like the parallel search's PNode; fixings are
+  // materialized per emitted unit by walking the chain.
+  struct FNode {
+    std::shared_ptr<const FNode> parent;
+    int var = -1;
+    double lower = 0.0;
+    double upper = 0.0;
+    double bound = -kLpInfinity;
+    std::shared_ptr<const Basis> warm;
+  };
+  struct Entry {
+    double bound;
+    long id;
+    std::shared_ptr<const FNode> node;
+    bool operator<(const Entry& other) const {
+      if (bound != other.bound) return bound < other.bound;
+      return id < other.id;
+    }
+  };
+
+  bool have_incumbent = false;
+  double incumbent_obj = kLpInfinity;
+  std::vector<double> incumbent;
+  auto offer = [&](const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).is_integer) rounded[j] = std::round(rounded[j]);
+    }
+    if (!model.CheckFeasible(rounded, 1e-5).ok()) return;
+    const double objective = model.EvaluateObjective(rounded);
+    if (have_incumbent && objective >= incumbent_obj) return;
+    have_incumbent = true;
+    incumbent_obj = objective;
+    incumbent = std::move(rounded);
+  };
+  if (options.initial_solution != nullptr) {
+    offer(*options.initial_solution);
+  }
+
+  std::set<Entry> open;
+  long next_id = 0;
+  {
+    auto root_node = std::make_shared<FNode>();
+    root_node->warm = options.root_basis;
+    open.insert({root_node->bound, next_id++, root_node});
+  }
+
+  std::vector<std::pair<double, double>> bounds(model.num_variables());
+  bool any_lp_failure = false;
+  double root_bound = -kLpInfinity;
+  const int unit_target = std::max(target_units, 1);
+  bool first_node = true;
+
+  while (!open.empty() && static_cast<int>(open.size()) < unit_target) {
+    if (deadline.Expired() || Cancelled(options) ||
+        (options.max_nodes > 0 && root.nodes >= options.max_nodes)) {
+      break;  // hand off whatever is open
+    }
+    auto it = open.begin();
+    std::shared_ptr<const FNode> node = it->node;
+    open.erase(it);
+    if (have_incumbent &&
+        WithinGap(incumbent_obj, node->bound, options.relative_gap)) {
+      continue;
+    }
+
+    ++root.nodes;
+    BnbNodesTotal().Increment();
+    Span node_span("frontier_node", "mip", ObsLevel::kFull);
+    node_span.AddArg("bound", node->bound);
+
+    for (int j = 0; j < model.num_variables(); ++j) {
+      bounds[j] = {model.variable(j).lower, model.variable(j).upper};
+    }
+    for (const FNode* n = node.get(); n != nullptr; n = n->parent.get()) {
+      if (n->var < 0) continue;
+      bounds[n->var].first = std::max(bounds[n->var].first, n->lower);
+      bounds[n->var].second = std::min(bounds[n->var].second, n->upper);
+    }
+
+    LpSolveStats delta;
+    LpResult lp = node_lp.Solve(bounds, node->warm.get(),
+                                NodeLpBudget(deadline, options), delta);
+    root.lp_stats.Add(delta);
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      VPART_LOG(Warning) << "LP relaxation unbounded at frontier node";
+      continue;
+    }
+    if (lp.status != LpStatus::kOptimal) {
+      any_lp_failure = true;
+      continue;
+    }
+    if (first_node) {
+      first_node = false;
+      root_bound = lp.objective;
+      if (node_lp.warm_enabled()) {
+        Basis saved = node_lp.SaveBasis();
+        if (saved.valid()) {
+          root.root_basis = std::make_shared<const Basis>(std::move(saved));
+        }
+      }
+    }
+    if (have_incumbent &&
+        WithinGap(incumbent_obj, lp.objective, options.relative_gap)) {
+      continue;
+    }
+
+    const int branch_var =
+        MostFractionalVariable(model, options.integrality_tol, lp.values);
+    if (branch_var < 0) {
+      offer(lp.values);
+      continue;
+    }
+
+    std::shared_ptr<const Basis> child_warm;
+    if (node_lp.warm_enabled()) {
+      Basis saved = node_lp.SaveBasis();
+      if (saved.valid()) {
+        child_warm = std::make_shared<const Basis>(std::move(saved));
+      }
+    }
+
+    const double value = lp.values[branch_var];
+    const double floor_value = std::floor(value);
+
+    auto down = std::make_shared<FNode>();
+    down->parent = node;
+    down->var = branch_var;
+    down->lower = bounds[branch_var].first;
+    down->upper = floor_value;
+    down->bound = lp.objective;
+    down->warm = child_warm;
+
+    auto up = std::make_shared<FNode>();
+    up->parent = node;
+    up->var = branch_var;
+    up->lower = floor_value + 1.0;
+    up->upper = bounds[branch_var].second;
+    up->bound = lp.objective;
+    up->warm = child_warm;
+
+    // The LP-preferred child gets the smaller id, mirroring the searches'
+    // plunge order under equal bounds.
+    const bool prefer_up = (value - floor_value) > 0.5;
+    open.insert({lp.objective, next_id++, prefer_up ? up : down});
+    open.insert({lp.objective, next_id++, prefer_up ? down : up});
+  }
+
+  // Emit the surviving open nodes as units; nodes the incumbent found later
+  // in the expansion already proves are dropped here instead of shipped.
+  for (const Entry& entry : open) {
+    if (have_incumbent &&
+        WithinGap(incumbent_obj, entry.bound, options.relative_gap)) {
+      continue;
+    }
+    FrontierUnit unit;
+    unit.id = entry.id;
+    unit.bound = std::isfinite(entry.bound) ? entry.bound : root_bound;
+    unit.basis = entry.node->warm;
+    // Per-column intersection of the chain's tightenings (each column is
+    // tightened monotonically, so intersecting is exact).
+    std::map<int, std::pair<double, double>> fixed;
+    for (const FNode* n = entry.node.get(); n != nullptr;
+         n = n->parent.get()) {
+      if (n->var < 0) continue;
+      auto [pos, inserted] =
+          fixed.emplace(n->var, std::make_pair(n->lower, n->upper));
+      if (!inserted) {
+        pos->second.first = std::max(pos->second.first, n->lower);
+        pos->second.second = std::min(pos->second.second, n->upper);
+      }
+    }
+    unit.fixings.reserve(fixed.size());
+    for (const auto& [column, range] : fixed) {
+      unit.fixings.push_back({column, range.first, range.second});
+    }
+    out.units.push_back(std::move(unit));
+  }
+
+  out.clean = !any_lp_failure;
+  root.seconds = watch.ElapsedSeconds();
+  root.lp_iterations = root.lp_stats.total_iterations();
+  if (have_incumbent) {
+    root.objective = incumbent_obj;
+    root.values = incumbent;
+  }
+  if (out.units.empty()) {
+    // Nothing to delegate: the expansion itself closed the tree (or dropped
+    // subtrees — then `clean` is false and no optimality is claimed).
+    root.best_bound = (out.clean && have_incumbent)
+                          ? incumbent_obj
+                          : (std::isfinite(root_bound) ? root_bound
+                                                       : -kLpInfinity);
+    FinalizeStatus(have_incumbent, incumbent_obj, kLpInfinity, out.clean,
+                   /*closed=*/false, /*pruned_by_external=*/false, root);
+  } else {
+    double open_min = kLpInfinity;
+    for (const FrontierUnit& unit : out.units) {
+      open_min = std::min(open_min, unit.bound);
+    }
+    root.best_bound = std::isfinite(open_min) ? open_min : root_bound;
+    root.search_exhausted = false;
+    root.status =
+        have_incumbent ? MipStatus::kFeasible : MipStatus::kNoSolution;
+  }
+  return out;
 }
 
 }  // namespace vpart

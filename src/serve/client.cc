@@ -8,7 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
-#include "serve/protocol.h"
+#include "util/wire.h"
 
 namespace vpart {
 

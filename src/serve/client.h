@@ -8,7 +8,7 @@
 namespace vpart {
 
 /// Blocking client for the advisor daemon's framed-JSON protocol
-/// (serve/protocol.h). Move-only; the move source is left disconnected.
+/// (util/wire.h). Move-only; the move source is left disconnected.
 /// Not thread-safe: callers pipelining from several threads must hold
 /// their own send/receive locks (responses complete in solve order and
 /// correlate by `serve.id`, not by request order).

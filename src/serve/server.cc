@@ -15,7 +15,7 @@
 #include "engine/batch_advisor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/protocol.h"
+#include "util/wire.h"
 #include "util/stopwatch.h"
 
 namespace vpart {

@@ -34,7 +34,7 @@ struct AdviseServerOptions {
 };
 
 /// The advisor daemon: a Unix-domain-socket server speaking the framed
-/// JSON protocol of serve/protocol.h, with a canonical-fingerprint
+/// JSON protocol of util/wire.h, with a canonical-fingerprint
 /// solution cache in front of the solver stack.
 ///
 /// Threading model:

@@ -1,4 +1,4 @@
-#include "serve/protocol.h"
+#include "util/wire.h"
 
 #include <cerrno>
 #include <cstring>

@@ -1,5 +1,5 @@
-#ifndef VPART_SERVE_PROTOCOL_H_
-#define VPART_SERVE_PROTOCOL_H_
+#ifndef VPART_UTIL_WIRE_H_
+#define VPART_UTIL_WIRE_H_
 
 #include <cstdint>
 #include <string>
@@ -9,8 +9,10 @@
 
 namespace vpart {
 
-/// Wire protocol of the advisor daemon (serve/server.h): every message —
-/// request or response — is one FRAME on a Unix domain stream socket:
+/// Shared wire framing of every vpart socket protocol — the advisor daemon
+/// (serve/server.h) and the distributed coordinator/worker runtime
+/// (dist/coordinator.h). Every message — request or response — is one FRAME
+/// on a Unix domain stream socket:
 ///
 ///   [u32 length, little-endian][length bytes of UTF-8 JSON]
 ///
@@ -64,4 +66,4 @@ const char* ServeErrorCodeFor(const Status& status);
 
 }  // namespace vpart
 
-#endif  // VPART_SERVE_PROTOCOL_H_
+#endif  // VPART_UTIL_WIRE_H_

@@ -1,0 +1,117 @@
+// WorkLedger: the coordinator's outstanding-unit accounting. The contract
+// under test is exactly-once completion — units survive worker death by
+// requeueing to the front, stale completions from presumed-dead workers are
+// rejected, and AllDone() holds only when every added unit completed.
+
+#include "dist/ledger.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace vpart {
+namespace {
+
+TEST(WorkLedgerTest, AcquireDrainsInAddOrder) {
+  WorkLedger ledger;
+  ledger.Add(10);
+  ledger.Add(11);
+  ledger.Add(12);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/1), 10);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/2), 11);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/1), 12);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/1), std::nullopt);
+  EXPECT_TRUE(ledger.pending_empty());
+  EXPECT_FALSE(ledger.AllDone());
+}
+
+TEST(WorkLedgerTest, CompleteRequiresOwnership) {
+  WorkLedger ledger;
+  ledger.Add(1);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 1);
+  EXPECT_FALSE(ledger.Complete(/*worker=*/2, 1));  // not the owner
+  EXPECT_FALSE(ledger.Complete(/*worker=*/1, 99));  // never assigned
+  EXPECT_FALSE(ledger.AllDone());
+  EXPECT_TRUE(ledger.Complete(/*worker=*/1, 1));
+  EXPECT_TRUE(ledger.AllDone());
+  EXPECT_FALSE(ledger.Complete(/*worker=*/1, 1));  // double complete
+}
+
+TEST(WorkLedgerTest, RequeueRestoresDeadWorkersUnitsToTheFront) {
+  WorkLedger ledger;
+  for (long id = 0; id < 5; ++id) ledger.Add(id);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 0);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 1);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/2), 2);
+
+  const std::vector<long> restored = ledger.Requeue(/*worker=*/1);
+  EXPECT_EQ(restored, (std::vector<long>{0, 1}));
+  EXPECT_EQ(ledger.requeued_total(), 2);
+
+  // Requeued units come back before fresh ones (they carry the best
+  // bounds), in their original order.
+  EXPECT_EQ(ledger.Acquire(/*worker=*/2), 0);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/2), 1);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/2), 3);
+  EXPECT_EQ(ledger.Acquire(/*worker=*/2), 4);
+}
+
+TEST(WorkLedgerTest, StaleResultFromRequeuedUnitIsRejected) {
+  WorkLedger ledger;
+  ledger.Add(7);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 7);
+  ledger.Requeue(/*worker=*/1);  // worker 1 presumed dead
+  ASSERT_EQ(ledger.Acquire(/*worker=*/2), 7);
+  // Worker 1 was only presumed dead; its late result must not double-count.
+  EXPECT_FALSE(ledger.Complete(/*worker=*/1, 7));
+  EXPECT_FALSE(ledger.AllDone());
+  EXPECT_TRUE(ledger.Complete(/*worker=*/2, 7));
+  EXPECT_TRUE(ledger.AllDone());
+}
+
+TEST(WorkLedgerTest, RequeueForIdleWorkerIsEmpty) {
+  WorkLedger ledger;
+  ledger.Add(1);
+  EXPECT_TRUE(ledger.Requeue(/*worker=*/3).empty());
+  EXPECT_EQ(ledger.requeued_total(), 0);
+}
+
+TEST(WorkLedgerTest, WaitBlocksUntilAllDone) {
+  WorkLedger ledger;
+  ledger.Add(1);
+  ledger.Add(2);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 1);
+  ASSERT_EQ(ledger.Acquire(/*worker=*/1), 2);
+  EXPECT_FALSE(ledger.WaitFor(0.01));
+
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    const bool all = ledger.Wait();
+    done.store(all);
+  });
+  EXPECT_TRUE(ledger.Complete(/*worker=*/1, 1));
+  EXPECT_TRUE(ledger.Complete(/*worker=*/1, 2));
+  waiter.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(ledger.WaitFor(0.01));
+}
+
+TEST(WorkLedgerTest, CancelUnblocksWaitWithoutCompleting) {
+  WorkLedger ledger;
+  ledger.Add(1);
+  std::thread waiter([&] { EXPECT_FALSE(ledger.Wait()); });
+  ledger.Cancel();
+  waiter.join();
+  EXPECT_FALSE(ledger.AllDone());
+}
+
+TEST(WorkLedgerTest, EmptyLedgerIsAllDone) {
+  WorkLedger ledger;
+  EXPECT_TRUE(ledger.AllDone());
+  EXPECT_TRUE(ledger.Wait());
+}
+
+}  // namespace
+}  // namespace vpart

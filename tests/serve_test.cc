@@ -14,7 +14,7 @@
 
 #include "api/json.h"
 #include "serve/client.h"
-#include "serve/protocol.h"
+#include "util/wire.h"
 
 namespace vpart {
 namespace {

@@ -25,6 +25,8 @@
 #include "api/session.h"
 #include "api/solver_registry.h"
 #include "cost/cost_model_registry.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 #include "engine/batch_advisor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -58,7 +60,11 @@ struct CliArgs {
   std::string obs_text;      // --obs: overrides the request's "obs" key
   std::string serve_path;    // --serve: run as a daemon on this socket
   std::string connect_path;  // --connect: send the request to a daemon
-  int workers = 2;           // --workers: daemon solve workers
+  std::string worker_path;   // --worker: join a coordinator on this socket
+  std::string socket_path;   // --socket: coordinator socket override
+  int workers = 2;           // --workers: daemon/coordinator solve workers
+  bool coordinator = false;  // --coordinator: multi-process distributed solve
+  bool no_spawn = false;     // --no-spawn: wait for external --worker procs
   bool certify = false;      // --certify: run the SolutionCertifier
   bool help = false;
   bool print_template = false;
@@ -87,9 +93,23 @@ void PrintHelp() {
       "                        with a canonical-fingerprint solution cache\n"
       "                        and cross-request warm starts. Stop with\n"
       "                        SIGINT/SIGTERM. See also vpart_client.\n"
-      "  --workers <n>         daemon solve workers (default 2)\n"
+      "  --workers <n>         daemon/coordinator solve workers (default 2)\n"
       "  --connect <socket>    send the request to a running daemon and\n"
       "                        print its response (one round trip)\n"
+      "  --coordinator         solve the request distributed: spawn\n"
+      "                        --workers worker processes over a Unix\n"
+      "                        socket and shard the work across them —\n"
+      "                        B&B frontier subtrees for a single solve,\n"
+      "                        tables for a \"batch\" request (see the\n"
+      "                        request's \"dist\" block and DESIGN.md\n"
+      "                        \"Distributed layer\")\n"
+      "  --socket <path>       coordinator socket path (default derived\n"
+      "                        from the pid under /tmp)\n"
+      "  --no-spawn            coordinator waits for externally started\n"
+      "                        --worker processes instead of forking them\n"
+      "  --worker <socket>     run as a distributed solve worker attached\n"
+      "                        to the coordinator at <socket>; exits when\n"
+      "                        the coordinator shuts down\n"
       "  --certify             re-verify the response with the independent\n"
       "                        solution certifier (partition structure,\n"
       "                        long-double cost recomputation, optimality\n"
@@ -258,6 +278,100 @@ int RunConnect(const CliArgs& args, const std::string& request_text) {
   return doc.ok() && doc->Find("error") != nullptr ? 1 : 0;
 }
 
+/// --worker: serve one coordinator until it says shutdown. Exit code 0 on
+/// a clean close (coordinator shutdown), 1 on transport/protocol errors.
+int RunWorker(const CliArgs& args) {
+  const Status done = RunDistWorkerAt(args.worker_path);
+  if (!done.ok()) {
+    std::fprintf(stderr, "worker failed: %s\n", done.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// --coordinator: one distributed solve. Spawns (or awaits) workers, shards
+/// the request, prints the same response document the local paths print.
+int RunCoordinator(const CliArgs& args, const std::string& request_text) {
+  StatusOr<CliRequest> cli = ParseCliRequest(request_text);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "bad request: %s\n",
+                 cli.status().ToString().c_str());
+    return 2;
+  }
+  if (!args.obs_text.empty() &&
+      !ParseObsLevel(args.obs_text, &cli->request.obs)) {
+    std::fprintf(stderr, "--obs must be off, basic, or full (got %s)\n",
+                 args.obs_text.c_str());
+    return 2;
+  }
+  if (args.certify) cli->request.certify = true;
+  StatusOr<Instance> instance = LoadCliInstance(*cli);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "failed to load instance: %s\n",
+                 instance.status().ToString().c_str());
+    return 2;
+  }
+  DistCoordinator::Options options;
+  options.socket_path = args.socket_path;
+  options.num_workers = args.workers;
+  options.spawn_workers = !args.no_spawn;
+  StatusOr<std::unique_ptr<DistCoordinator>> coordinator =
+      DistCoordinator::Start(options);
+  if (!coordinator.ok()) {
+    std::fprintf(stderr, "coordinator start failed: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 1;
+  }
+  if (args.no_spawn) {
+    std::fprintf(stderr,
+                 "coordinator waiting for %d workers on %s\n"
+                 "  (start each with: vpart_cli --worker %s)\n",
+                 args.workers, (*coordinator)->socket_path().c_str(),
+                 (*coordinator)->socket_path().c_str());
+    if (!(*coordinator)->WaitForWorkers(args.workers, 300.0)) {
+      std::fprintf(stderr, "workers did not attach within 300s\n");
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "coordinator on %s: %d workers attached\n",
+               (*coordinator)->socket_path().c_str(),
+               (*coordinator)->usable_workers());
+  const bool tables = cli->dist.mode == "tables" ||
+                      (cli->dist.mode == "auto" && cli->batch);
+  int rc = 0;
+  if (tables) {
+    BatchAdviseRequest batch;
+    batch.request = cli->request;
+    batch.request.num_threads = 1;  // concurrency goes across workers
+    StatusOr<BatchAdvisorResult> advised =
+        (*coordinator)->AdviseSchemaDistributed(*instance, batch);
+    if (!advised.ok()) {
+      std::fprintf(stderr, "distributed batch advise failed: %s\n",
+                   advised.status().ToString().c_str());
+      rc = 1;
+    } else {
+      JsonValue out = BatchAdvisorResultToJson(*instance, *advised,
+                                               cli->emit_partitioning);
+      std::printf("%s\n", out.Serialize(2).c_str());
+    }
+  } else {
+    StatusOr<AdviseResponse> response =
+        (*coordinator)->AdviseDistributed(*instance, *cli);
+    if (!response.ok()) {
+      std::fprintf(stderr, "distributed advise failed: %s\n",
+                   response.status().ToString().c_str());
+      rc = 1;
+    } else {
+      JsonValue out = AdviseResponseToJson(*instance, *response,
+                                           cli->emit_partitioning, {});
+      std::printf("%s\n", out.Serialize(2).c_str());
+    }
+  }
+  (*coordinator)->Shutdown();
+  const int dump_rc = DumpObsFiles(args);
+  return rc != 0 ? rc : dump_rc;
+}
+
 int Run(const CliArgs& args, const std::string& request_text) {
   StatusOr<CliRequest> cli = ParseCliRequest(request_text);
   if (!cli.ok()) {
@@ -339,6 +453,14 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       if (!next_value("--serve", &args.serve_path)) return false;
     } else if (std::strcmp(arg, "--connect") == 0) {
       if (!next_value("--connect", &args.connect_path)) return false;
+    } else if (std::strcmp(arg, "--worker") == 0) {
+      if (!next_value("--worker", &args.worker_path)) return false;
+    } else if (std::strcmp(arg, "--socket") == 0) {
+      if (!next_value("--socket", &args.socket_path)) return false;
+    } else if (std::strcmp(arg, "--coordinator") == 0) {
+      args.coordinator = true;
+    } else if (std::strcmp(arg, "--no-spawn") == 0) {
+      args.no_spawn = true;
     } else if (std::strcmp(arg, "--workers") == 0) {
       std::string value;
       if (!next_value("--workers", &value)) return false;
@@ -379,6 +501,9 @@ int main(int argc, char** argv) {
   if (!args.serve_path.empty()) {
     return RunServer(args);
   }
+  if (!args.worker_path.empty()) {
+    return RunWorker(args);
+  }
   std::string request_text;
   if (args.request_path.empty() || args.request_path == "-") {
     request_text = ReadAll(stdin);
@@ -393,6 +518,9 @@ int main(int argc, char** argv) {
   }
   if (!args.connect_path.empty()) {
     return RunConnect(args, request_text);
+  }
+  if (args.coordinator) {
+    return RunCoordinator(args, request_text);
   }
   return Run(args, request_text);
 }

@@ -10,8 +10,8 @@
 //   $ ./build/vpart_cli --serve /tmp/vpart.sock &        # the daemon
 //   $ ./build/vpart_client --socket /tmp/vpart.sock request.json
 //   $ ./build/vpart_client --socket /tmp/vpart.sock a.json b.json  # pipelined
-//   $ echo '{"instance": {"builtin": "tpcc"}}' | \
-//       ./build/vpart_client --socket /tmp/vpart.sock
+//   $ echo '{"instance": {"builtin": "tpcc"}}' |
+//       ./build/vpart_client --socket /tmp/vpart.sock    # stdin request
 //
 // With several request files the client pipelines: all requests are sent
 // first, then all responses are read. Responses arrive in solve order —
